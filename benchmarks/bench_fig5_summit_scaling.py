@@ -1,0 +1,66 @@
+"""Fig 5: Summit strong scaling of DFT-FE-MLXC — baseline vs mixed-precision
++ asynchronous compute/communication (YbCd quasicrystal, 40,040 e-).
+
+Paper: the optimizations improve the minimum walltime by 1.8x and the
+1,920-node strong-scaling efficiency from 36% to 54%.
+"""
+
+from repro.hpc.machine import SUMMIT
+from repro.hpc.perfmodel import ModelOptions
+from repro.hpc.runtime import PAPER_WORKLOADS, scf_breakdown, strong_scaling
+
+NODES = [240, 480, 960, 1920]
+
+
+def test_fig5_baseline_vs_optimized(benchmark, table_printer):
+    wl = PAPER_WORKLOADS["YbCdQC"]
+    base = ModelOptions(mixed_precision=False, async_overlap=False, use_rccl=False)
+    opt = ModelOptions(mixed_precision=True, async_overlap=True, use_rccl=True)
+
+    def build():
+        rows = []
+        for n in NODES:
+            tb = scf_breakdown(wl, SUMMIT, n, base).wall_time
+            to = scf_breakdown(wl, SUMMIT, n, opt).wall_time
+            rows.append((n, tb, to, tb / to))
+        return rows
+
+    rows = benchmark(build)
+    table_printer(
+        "Fig 5 (model): YbCd walltime/SCF on Summit",
+        ["nodes", "baseline s", "optimized s", "gain x"],
+        rows,
+    )
+    # substantial gain at every node count (paper: 1.8x at the minimum)
+    assert all(r[3] > 1.3 for r in rows)
+    # walltime decreases with node count in both variants
+    assert all(r2[1] < r1[1] and r2[2] < r1[2] for r1, r2 in zip(rows, rows[1:]))
+
+
+def test_fig5_minimum_walltime_gain(benchmark):
+    """The optimized minimum walltime beats the baseline minimum by >1.3x.
+
+    (The paper also reports a 36% -> 54% relative-efficiency uplift; the
+    model reproduces the walltime gain but not the efficiency ordering —
+    see EXPERIMENTS.md for the documented deviation.)
+    """
+    wl = PAPER_WORKLOADS["YbCdQC"]
+
+    def build():
+        mins = {}
+        for label, opts in (
+            ("baseline", ModelOptions(mixed_precision=False, async_overlap=False)),
+            ("optimized", ModelOptions(mixed_precision=True, async_overlap=True,
+                                       use_rccl=True)),
+        ):
+            curve = strong_scaling(wl, SUMMIT, NODES, opts)
+            mins[label] = min(t for _, t, _ in curve)
+        return mins
+
+    mins = benchmark(build)
+    print(
+        f"\n--- Fig 5 minimum walltime: baseline {mins['baseline']:.1f}s, "
+        f"optimized {mins['optimized']:.1f}s "
+        f"({mins['baseline'] / mins['optimized']:.2f}x; paper: 1.8x)"
+    )
+    assert mins["baseline"] / mins["optimized"] > 1.3

@@ -1,0 +1,50 @@
+"""Fig 6: the benchmark systems — full-size geometry generation.
+
+Regenerates the two systems shown in the paper's Fig 6 (the YbCd
+quasicrystal nanoparticle and TwinDislocMgY(C)) with the exact published
+atom and electron counts, and times the generators.
+"""
+
+import numpy as np
+import pytest
+
+from repro.materials.quasicrystal import ybcd_nanoparticle
+from repro.materials.systems import build_system
+
+
+def test_fig6_ybcd_nanoparticle(benchmark, table_printer):
+    nano = benchmark.pedantic(ybcd_nanoparticle, rounds=1, iterations=1)
+    pos = nano.config.positions
+    width_nm = 2 * np.linalg.norm(pos, axis=1).max() * 0.0529177
+    table_printer(
+        "Fig 6 (top): YbCd quasicrystal nanoparticle",
+        ["atoms", "Yb", "Cd", "electrons", "width nm"],
+        [(nano.natoms, nano.config.symbols.count("Yb"),
+          nano.config.symbols.count("Cd"), nano.config.n_electrons,
+          float(width_nm))],
+    )
+    assert nano.natoms == 1943
+    assert nano.config.n_electrons == 40040  # paper: 40,040 e-
+
+
+@pytest.mark.parametrize(
+    "name,natoms,supercell_e",
+    [
+        ("DislocMgY", 6016, 24082),
+        ("TwinDislocMgY(A)", 36344, 302668),
+        ("TwinDislocMgY(C)", 74164, 619124),
+    ],
+)
+def test_fig6_mgy_systems(benchmark, name, natoms, supercell_e):
+    system = benchmark.pedantic(build_system, args=(name,), rounds=1, iterations=1)
+    print(
+        f"\n--- Fig 6: {name}: {system.config.natoms} atoms, "
+        f"{system.electrons_per_kpoint} e-/k x {system.n_kpoints} k "
+        f"= {system.supercell_electrons} e- (paper: {supercell_e})"
+    )
+    assert system.config.natoms == natoms
+    assert system.supercell_electrons == supercell_e
+    # the dislocation actually displaced atoms (non-lattice positions)
+    if "Disloc" in name:
+        z = system.config.positions[:, 2]
+        assert np.unique(np.round(z, 3)).size > 8  # helical winding along z

@@ -1,0 +1,72 @@
+"""Fig 7: invDFT strong scaling (ortho-benzyne) + real adjoint-solve timing.
+
+(i) the machine model regenerates the paper's 4 -> 32 Perlmutter-node curve
+(104 s -> 20 s per optimization iteration, 5.2x);
+(ii) the projected block-MINRES adjoint solve — the kernel behind it — is
+benchmarked for real on a small molecule.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hpc.machine import PERLMUTTER
+from repro.hpc.perfmodel import ModelOptions
+from repro.hpc.runtime import PAPER_WORKLOADS, invdft_iteration_time
+
+
+def test_fig7_modeled_scaling(benchmark, table_printer):
+    wl = PAPER_WORKLOADS["OrthoBenzyne"]
+    opts = ModelOptions(use_rccl=True)
+
+    def build():
+        rows = []
+        t0 = None
+        for nodes in (4, 8, 16, 32):
+            t = invdft_iteration_time(wl, PERLMUTTER, nodes, opts=opts)
+            t0 = t0 or t
+            rows.append((nodes, t, t0 / t))
+        return rows
+
+    rows = benchmark(build)
+    table_printer(
+        "Fig 7 (model): invDFT s/iteration on Perlmutter "
+        "(paper: 104 -> 20 s, 5.2x)",
+        ["nodes", "s/iter", "speedup"],
+        rows,
+    )
+    assert 80 < rows[0][1] < 130  # ~104 s at 4 nodes
+    assert 15 < rows[-1][1] < 30  # ~20 s at 32 nodes
+    assert 4.0 < rows[-1][2] < 6.5  # ~5.2x
+
+
+@pytest.fixture(scope="module")
+def adjoint_problem():
+    from repro.atoms.pseudo import AtomicConfiguration
+    from repro.core import DFTCalculation
+    from repro.invdft.adjoint import adjoint_rhs
+    from repro.xc.lda import LDA
+
+    config = AtomicConfiguration(["He"], [[0, 0, 0]])
+    calc = DFTCalculation(
+        config, xc=LDA(), padding=8.0, cells_per_axis=4, degree=3, nstates=3
+    )
+    res = calc.run()
+    ch = res.channels[0]
+    mesh = calc.mesh
+    drho = 1e-3 * res.rho  # synthetic density mismatch
+    occ = np.asarray(res.occupations[0])
+    G = adjoint_rhs(mesh, ch.psi, occ, drho)
+    return ch.op, ch.psi, ch.evals, G
+
+
+def test_fig7_real_adjoint_solve(benchmark, adjoint_problem):
+    """Measured projected block-MINRES adjoint solve (the Fig 7 kernel)."""
+    from repro.invdft.adjoint import solve_adjoint
+
+    op, psi, evals, G = adjoint_problem
+    res = benchmark.pedantic(
+        solve_adjoint, args=(op, psi, evals, G),
+        kwargs={"tol": 1e-7, "maxiter": 300}, rounds=2, iterations=1,
+    )
+    assert res.converged
+    benchmark.extra_info["minres_iterations"] = res.iterations

@@ -1,0 +1,93 @@
+"""Table 3: sustained performance and per-kernel breakdown on Frontier.
+
+Regenerates the wall-time / FLOP-count / PFLOPS rows for
+TwinDislocMgY(A), (B), (C) — including the per-kernel breakdowns for (A)
+and (C) — and checks each against the published numbers.
+"""
+
+import pytest
+
+from repro.hpc.machine import FRONTIER
+from repro.hpc.perfmodel import ModelOptions
+from repro.hpc.runtime import PAPER_WORKLOADS, scf_breakdown
+
+PAPER_TOTALS = {
+    "TwinDislocMgY(A)": (2400, 223.0, 50456.7, 226.3, 49.3),
+    "TwinDislocMgY(B)": (6000, 499.4, 254147.5, 508.9, 44.4),
+    "TwinDislocMgY(C)": (8000, 513.7, 338863.4, 659.7, 43.1),
+}
+
+PAPER_KERNELS_C = {
+    "CF": (135.4, 57809.5),
+    "CholGS-S": (79.3, 54428.9),
+    "CholGS-CI": (8.8, 0.0),
+    "CholGS-O": (49.6, 54428.9),
+    "RR-P": (66.7, 61035.7),
+    "RR-D": (22.3, 0.0),
+    "RR-SR": (93.5, 108857.9),
+    "DC": (4.3, 2302.5),
+    "DH+EP+Others": (53.8, 0.0),
+}
+
+
+def test_table3_totals(benchmark, table_printer):
+    opts = ModelOptions(optimal_routing=False)
+
+    def build():
+        rows = []
+        for name, (nodes, *_p) in PAPER_TOTALS.items():
+            m = scf_breakdown(PAPER_WORKLOADS[name], FRONTIER, nodes, opts)
+            rows.append(
+                (name, m.wall_time, m.counted_pflop, m.sustained_pflops,
+                 100 * m.peak_fraction)
+            )
+        return rows
+
+    rows = benchmark(build)
+    table_printer(
+        "Table 3 (model): wall-time / PFLOP / PFLOPS per SCF iteration",
+        ["system", "s", "PFLOP", "PFLOPS", "% peak"],
+        rows,
+    )
+    for name, t, pf, pflops, peak in rows:
+        nodes, t_p, pf_p, pflops_p, peak_p = PAPER_TOTALS[name]
+        assert abs(t - t_p) / t_p < 0.15, name
+        assert abs(pf - pf_p) / pf_p < 0.10, name
+        assert abs(peak - peak_p) < 8.0, name
+
+
+def test_table3_kernel_breakdown_c(benchmark, table_printer):
+    """Per-kernel agreement for the 619,124 e- flagship run."""
+    opts = ModelOptions(optimal_routing=False)
+
+    def build():
+        m = scf_breakdown(PAPER_WORKLOADS["TwinDislocMgY(C)"], FRONTIER, 8000, opts)
+        return m.table_rows()
+
+    rows = benchmark(build)
+    table_printer(
+        "Table 3 (model): TwinDislocMgY(C) kernel breakdown "
+        "(s | PFLOP | PFLOPS)",
+        ["kernel", "s", "PFLOP", "PFLOPS"],
+        rows,
+    )
+    for name, sec, pf, _pflops in rows:
+        t_p, pf_p = PAPER_KERNELS_C[name]
+        assert abs(sec - t_p) / t_p < 0.35, name  # each kernel within 35%
+        if pf_p > 0:
+            assert abs(pf - pf_p) / pf_p < 0.10, name  # FLOPs within 10%
+
+
+def test_table3_flop_counts_match_sec63_formulas(benchmark):
+    """CholGS-O carries the same FLOPs as CholGS-S (triangular, alpha=1)
+    and RR-SR exactly twice (square rotation, alpha=2)."""
+    opts = ModelOptions(optimal_routing=False)
+
+    def build():
+        m = scf_breakdown(PAPER_WORKLOADS["TwinDislocMgY(C)"], FRONTIER, 8000, opts)
+        return {k.name: k.flops for k in m.kernels}
+
+    flops = benchmark(build)
+    assert flops["CholGS-O"] == pytest.approx(flops["CholGS-S"])
+    assert flops["RR-SR"] == pytest.approx(2 * flops["CholGS-S"])
+    assert flops["CholGS-CI"] == 0.0 and flops["RR-D"] == 0.0  # uncounted

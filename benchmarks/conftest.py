@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` module regenerates one table or figure of the paper
+(see DESIGN.md's per-experiment index).  Heavy pipelines run exactly once
+per session (cached fixtures) and are timed with ``benchmark.pedantic``;
+pure kernels are benchmarked normally.  Run with ``-s`` to see the
+regenerated tables:
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(2023)
+
+
+def print_table(title: str, header: list[str], rows: list[tuple]) -> None:
+    """Render one regenerated paper table/series to stdout."""
+    print(f"\n--- {title}")
+    widths = [max(len(h), 12) for h in header]
+    print("    " + "  ".join(h.rjust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        cells = [
+            (f"{c:.4g}" if isinstance(c, float) else str(c)).rjust(w)
+            for c, w in zip(row, widths)
+        ]
+        print("    " + "  ".join(cells))
+
+
+@pytest.fixture
+def table_printer():
+    return print_table

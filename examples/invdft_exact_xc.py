@@ -1,0 +1,81 @@
+"""invDFT demonstration: extract the exact XC potential of an FCI density.
+
+Reproduces the paper's Sec 5.1 methodology at laptop scale on the H2
+molecule:
+
+1. solve H2 with LDA to get an orbital basis;
+2. FCI in that basis -> the exact (model-world) correlated density;
+3. inverse DFT (projected block-MINRES adjoints, Sec 5.3.1) -> the exact
+   v_xc(r) whose KS ground state reproduces the FCI density;
+4. compare the exact v_xc against LDA's along the bond axis, and verify the
+   preconditioner's iteration-count advantage.
+
+Usage::
+
+    python examples/invdft_exact_xc.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.invdft.adjoint import adjoint_rhs, solve_adjoint
+from repro.pipeline import invert_reference, qmb_reference
+from repro.xc.lda import LDA
+
+
+def main() -> None:
+    t0 = time.time()
+    print("=== stage 1-2: LDA seed + FCI reference density (H2)")
+    ref = qmb_reference("H2")
+    print(
+        f"    E_LDA = {ref.e_ks_seed:+.6f} Ha, E_FCI = {ref.e_fci:+.6f} Ha "
+        f"(correlation gain {1000 * (ref.e_ks_seed - ref.e_fci):+.1f} mHa) "
+        f"[{time.time() - t0:.0f}s]"
+    )
+
+    print("=== stage 3: inverse DFT (PDE-constrained optimization)")
+    sample, inv = invert_reference(ref, max_iterations=120)
+    print(
+        f"    exact E_xc = {sample.exc_target:+.6f} Ha  [{time.time() - t0:.0f}s]"
+    )
+
+    # compare exact vs LDA v_xc along the bond axis
+    mesh = ref.calc.mesh
+    v_lda, _ = LDA().potential_and_energy(mesh, ref.rho_qmb_spin)
+    axis = np.argsort(np.abs(mesh.node_coords[:, 1] - mesh.lengths[1] / 2)
+                      + np.abs(mesh.node_coords[:, 2] - mesh.lengths[2] / 2))
+    line = axis[: mesh.nnodes_axis[0]]
+    line = line[np.argsort(mesh.node_coords[line, 0])]
+    print("\n    x (Bohr)   rho_FCI     v_xc_exact   v_xc_LDA")
+    for i in line[:: max(len(line) // 12, 1)]:
+        x = mesh.node_coords[i, 0]
+        print(
+            f"    {x:8.2f}  {ref.rho_qmb_spin[i].sum():10.5f}  "
+            f"{sample.v_target[i, 0]:+10.5f}  {v_lda[i, 0]:+10.5f}"
+        )
+
+    print(
+        "\n=== preconditioned vs plain block-MINRES (Löwdin basis)\n"
+        "    note: the paper's ~5x gain applies to the raw FE basis whose\n"
+        "    diagonal varies like h^-2 (see benchmarks/bench_minres_precond);\n"
+        "    the Löwdin basis used here absorbs most of that disparity."
+    )
+    s = 0
+    op = inv.ops[s]
+    psi, evals = inv._psi[s], inv._evals[s]
+    drho = (inv.rho_t - ref.rho_qmb_spin)[:, s] + 1e-3  # synthetic mismatch
+    occ = np.zeros(psi.shape[1])
+    occ[: ref.n_alpha] = 1.0
+    G = adjoint_rhs(mesh, psi, occ, drho)
+    for label, pre in (("preconditioned", True), ("unpreconditioned", False)):
+        r = solve_adjoint(
+            op, psi, evals, G, tol=1e-7, maxiter=2000, use_preconditioner=pre
+        )
+        print(f"    {label:<18} {r.iterations:5d} MINRES iterations "
+              f"(converged={r.converged})")
+    print(f"=== done in {time.time() - t0:.0f}s")
+
+
+if __name__ == "__main__":
+    main()

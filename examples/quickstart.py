@@ -1,0 +1,64 @@
+"""Quickstart: ground-state DFT of an H2 molecule on a spectral-element mesh.
+
+Demonstrates the public API end to end in under a minute: build an atomic
+configuration, run the Chebyshev-filtered SCF at three levels of XC theory
+(LDA, PBE, post-SCF PBE0 hybrid), and inspect energies, eigenvalues and the
+HOMO-LUMO gap.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.atoms.pseudo import AtomicConfiguration
+from repro.core import DFTCalculation, SCFOptions, homo_lumo_gap
+from repro.xc import LDA, PBE
+from repro.xc.hybrid import PBE0
+
+
+def main() -> None:
+    # H2 at its model-world bond length (Bohr)
+    h2 = AtomicConfiguration(["H", "H"], [[0.0, 0.0, 0.0], [1.4, 0.0, 0.0]])
+
+    print("system: H2, 2 valence electrons, isolated (multipole Dirichlet box)")
+    results = {}
+    for name, xc in (("LDA (Level 1)", LDA()), ("PBE (Level 2)", PBE())):
+        t0 = time.time()
+        calc = DFTCalculation(
+            h2, xc=xc, padding=8.0, cells_per_axis=4, degree=5,
+            options=SCFOptions(max_iterations=40),
+        )
+        res = calc.run()
+        results[name] = (calc, res)
+        print(
+            f"{name:<16} E = {res.energy:+.6f} Ha   "
+            f"gap = {homo_lumo_gap(res) * 27.2114:5.2f} eV   "
+            f"{res.n_iterations} SCF iters, {time.time() - t0:.1f}s, "
+            f"converged={res.converged}"
+        )
+
+    # Level 3: hybrid correction on the PBE orbitals
+    calc, res = results["PBE (Level 2)"]
+    t0 = time.time()
+    e_hyb = PBE0().post_scf_energy(calc.mesh, res)
+    print(f"{'PBE0 (Level 3)':<16} E = {e_hyb:+.6f} Ha   (post-SCF, {time.time()-t0:.1f}s)")
+
+    # a few diagnostics from the converged PBE state
+    print("\nKohn-Sham spectrum (PBE, Ha):", np.round(res.eigenvalues[0][:4], 4))
+    print("occupations:", np.round(res.occupations[0][:4], 4))
+    print("electron count:", round(float(calc.mesh.integrate(res.rho)), 8))
+    print("Fermi level:", round(res.fermi_level, 4), "Ha")
+    b = res.breakdown
+    print(
+        f"energy breakdown: band {b.band:+.4f}, electrostatic "
+        f"{b.electrostatic:+.4f}, xc {b.xc:+.4f}, -TS "
+        f"{-b.temperature * b.entropy:+.6f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""repro: reproduction of "Large-Scale Materials Modeling at Quantum Accuracy"
+(SC'23 Gordon Bell Prize): DFT-FE-MLXC + invDFT + MLXC, with materials,
+quantum-many-body and exascale-performance substrates.
+
+Quick start::
+
+    from repro.atoms.pseudo import AtomicConfiguration
+    from repro.core import DFTCalculation
+    from repro.xc import LDA
+
+    h2 = AtomicConfiguration(["H", "H"], [[0, 0, 0], [1.4, 0, 0]])
+    result = DFTCalculation(h2, xc=LDA()).run()
+    print(result.energy)
+"""
+
+__version__ = "1.0.0"

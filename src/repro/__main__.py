@@ -1,0 +1,113 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Package, substrate and machine-model summary.
+``scf MOLECULE``
+    Ground-state SCF of a library molecule (LDA/PBE/MLXC).
+``perfmodel [SYSTEM]``
+    Modeled Table-3 style breakdown for a paper workload.
+``systems``
+    Build and tabulate the paper's benchmark systems.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_info(_args) -> int:
+    import repro
+    from repro.hpc.machine import MACHINES
+    from repro.hpc.runtime import PAPER_WORKLOADS
+    from repro.pipeline import MOLECULE_LIBRARY
+
+    print(f"repro {repro.__version__} — SC'23 DFT-FE-MLXC reproduction")
+    print(f"  molecules: {', '.join(sorted(MOLECULE_LIBRARY))}")
+    print(f"  workloads: {', '.join(sorted(PAPER_WORKLOADS))}")
+    print(f"  machines:  {', '.join(sorted(MACHINES))}")
+    return 0
+
+
+def _cmd_scf(args) -> int:
+    import numpy as np
+
+    from repro.atoms.pseudo import AtomicConfiguration
+    from repro.core import DFTCalculation, SCFOptions, homo_lumo_gap
+    from repro.pipeline import MOLECULE_LIBRARY
+    from repro.xc import LDA, PBE
+
+    if args.molecule not in MOLECULE_LIBRARY:
+        print(f"unknown molecule {args.molecule!r}; see `python -m repro info`")
+        return 2
+    symbols, positions, *_ = MOLECULE_LIBRARY[args.molecule]
+    config = AtomicConfiguration(list(symbols), np.asarray(positions, float))
+    xc = {"lda": LDA, "pbe": PBE}[args.xc]()
+    calc = DFTCalculation(
+        config, xc=xc, degree=args.degree, cells_per_axis=args.cells,
+        options=SCFOptions(max_iterations=args.max_scf, verbose=True),
+    )
+    res = calc.run()
+    print(f"E({args.molecule}, {xc.name}) = {res.energy:+.6f} Ha  "
+          f"gap = {homo_lumo_gap(res) * 27.2114:.2f} eV  "
+          f"converged={res.converged}")
+    return 0 if res.converged else 1
+
+
+def _cmd_perfmodel(args) -> int:
+    from repro.hpc.machine import FRONTIER
+    from repro.hpc.perfmodel import ModelOptions
+    from repro.hpc.runtime import PAPER_WORKLOADS, scf_breakdown
+
+    wl = PAPER_WORKLOADS[args.system]
+    m = scf_breakdown(
+        wl, FRONTIER, args.nodes, ModelOptions(optimal_routing=False)
+    )
+    print(f"{wl.name} on {args.nodes} Frontier nodes "
+          f"({FRONTIER.system_peak_pflops(args.nodes):.1f} PF peak):")
+    for name, sec, pf, pflops in m.table_rows():
+        pf_s = f"{pf:10.1f}" if pf else "         -"
+        print(f"  {name:<14} {sec:8.1f} s {pf_s} PFLOP {pflops:8.1f} PFLOPS")
+    print(f"  TOTAL          {m.wall_time:8.1f} s {m.counted_pflop:10.1f} PFLOP "
+          f"{m.sustained_pflops:8.1f} PFLOPS ({m.peak_fraction:.1%} of peak)")
+    return 0
+
+
+def _cmd_systems(_args) -> int:
+    from repro.materials.systems import SYSTEM_BUILDERS, build_system
+
+    for name in SYSTEM_BUILDERS:
+        s = build_system(name)
+        print(f"{s.name:<18} {s.config.natoms:6d} atoms  "
+              f"{s.electrons_per_kpoint:7d} e-/k x {s.n_kpoints} k  "
+              f"= {s.supercell_electrons:7d} e-")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = ap.add_subparsers(dest="command", required=True)
+    sub.add_parser("info")
+    p = sub.add_parser("scf")
+    p.add_argument("molecule")
+    p.add_argument("--xc", choices=("lda", "pbe"), default="lda")
+    p.add_argument("--degree", type=int, default=4)
+    p.add_argument("--cells", type=int, default=4)
+    p.add_argument("--max-scf", type=int, default=40)
+    p = sub.add_parser("perfmodel")
+    p.add_argument("system", nargs="?", default="TwinDislocMgY(C)")
+    p.add_argument("--nodes", type=int, default=8000)
+    sub.add_parser("systems")
+    args = ap.parse_args(argv)
+    return {
+        "info": _cmd_info,
+        "scf": _cmd_scf,
+        "perfmodel": _cmd_perfmodel,
+        "systems": _cmd_systems,
+    }[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

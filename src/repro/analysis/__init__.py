@@ -1,0 +1,21 @@
+"""Science analysis: nanoparticle stability, defect energetics."""
+
+from .defect_energetics import (
+    BOHR_TO_NM,
+    HARTREE_TO_MEV,
+    energy_per_dislocation_length,
+    formation_energy,
+    interaction_energy,
+)
+from .stability import SizeScalingFit, crossover_size, fit_size_scaling
+
+__all__ = [
+    "BOHR_TO_NM",
+    "HARTREE_TO_MEV",
+    "SizeScalingFit",
+    "crossover_size",
+    "energy_per_dislocation_length",
+    "fit_size_scaling",
+    "formation_energy",
+    "interaction_energy",
+]

@@ -1,0 +1,59 @@
+"""Defect energetics: formation and interaction energies.
+
+Implements the energy bookkeeping of the paper's Mg-Y application: the
+interaction energy of two defects (e.g. a <c+a> dislocation and a twin
+boundary, or a dislocation and a solute) from four supercell total
+energies,
+
+.. math::
+
+    E_{int} = E_{d_1 + d_2} - E_{d_1} - E_{d_2} + E_{bulk},
+
+and per-length dislocation energy differences such as the paper's
+``Delta E^{I-II}`` (meV per nm of dislocation line).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "interaction_energy",
+    "formation_energy",
+    "energy_per_dislocation_length",
+    "HARTREE_TO_MEV",
+    "BOHR_TO_NM",
+]
+
+HARTREE_TO_MEV = 27_211.386
+BOHR_TO_NM = 0.0529177
+
+
+def formation_energy(e_defected: float, e_bulk: float) -> float:
+    """Defect formation energy from matched supercells (Ha)."""
+    return e_defected - e_bulk
+
+
+def interaction_energy(
+    e_both: float, e_first: float, e_second: float, e_bulk: float
+) -> float:
+    """Interaction energy of two defects from four matched supercells (Ha).
+
+    Negative values mean attraction (e.g. solute segregation to the
+    dislocation core, the mechanism behind ductility enhancement in Mg-Y).
+    """
+    return e_both - e_first - e_second + e_bulk
+
+
+def energy_per_dislocation_length(
+    e_disloc: float, e_ref: float, line_length_bohr: float
+) -> float:
+    """Dislocation energy per unit line length, in meV / nm.
+
+    This is the unit of the paper's pyramidal I-II energy difference
+    (Delta E^{I-II} = 16 meV/nm).
+    """
+    if line_length_bohr <= 0:
+        raise ValueError("line length must be positive")
+    d_ha = e_disloc - e_ref
+    return d_ha * HARTREE_TO_MEV / (line_length_bohr * BOHR_TO_NM)

@@ -1,0 +1,68 @@
+"""Element data for the model world.
+
+Valence electron counts follow the ONCV-pseudopotential conventions used in
+the paper, chosen so the benchmark systems reproduce the paper's electron
+counts exactly:
+
+* DislocMgY: 6,015 Mg (2 e-) + 1 Y (11 e-) = 12,041 e-
+* TwinDislocMgY(A): 36,013 Mg + 331 Y = 75,667 e-
+* TwinDislocMgY(B/C): 73,447 Mg + 717 Y = 154,781 e-
+* YbCd quasicrystal: 295 Yb (24 e-) + 1,648 Cd (20 e-) = 40,040 e-
+
+``r_c`` is the softening radius of the local pseudopotential
+(:mod:`repro.atoms.pseudo`) in Bohr.  These are model values tuned for smooth
+fields on laptop-scale finite-element meshes, not production ONCV data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Element:
+    """Chemical element with the data needed by the model pseudopotential."""
+
+    symbol: str
+    Z: int  #: atomic number
+    valence: int  #: valence electrons treated explicitly
+    r_c: float  #: pseudopotential softening radius (Bohr)
+    mass: float  #: atomic mass (amu), used only for reporting
+
+
+_ELEMENTS = {
+    "H": Element("H", 1, 1, 0.80, 1.008),
+    "He": Element("He", 2, 2, 0.80, 4.003),
+    "Li": Element("Li", 3, 3, 0.90, 6.941),
+    "Be": Element("Be", 4, 4, 0.90, 9.012),
+    "C": Element("C", 6, 4, 0.90, 12.011),
+    "N": Element("N", 7, 5, 0.90, 14.007),
+    "O": Element("O", 8, 6, 0.85, 15.999),
+    "F": Element("F", 9, 7, 0.85, 18.998),
+    "Ne": Element("Ne", 10, 8, 0.85, 20.180),
+    "Mg": Element("Mg", 12, 2, 1.30, 24.305),
+    "Si": Element("Si", 14, 4, 1.20, 28.086),
+    "Y": Element("Y", 39, 11, 1.40, 88.906),
+    "Cd": Element("Cd", 48, 20, 1.30, 112.411),
+    "Yb": Element("Yb", 70, 24, 1.40, 173.045),
+}
+
+
+def get_element(symbol: str) -> Element:
+    """Look up an :class:`Element` by chemical symbol (case-sensitive)."""
+    try:
+        return _ELEMENTS[symbol]
+    except KeyError:
+        raise KeyError(
+            f"unknown element {symbol!r}; known: {sorted(_ELEMENTS)}"
+        ) from None
+
+
+def known_elements() -> tuple[str, ...]:
+    """Return the tuple of supported element symbols."""
+    return tuple(sorted(_ELEMENTS))
+
+
+def valence_electron_count(symbols) -> int:
+    """Total valence electrons for a sequence of element symbols."""
+    return sum(get_element(s).valence for s in symbols)

@@ -1,0 +1,65 @@
+"""XYZ read/write for atomic configurations (interchange substrate).
+
+Extended-XYZ-lite: the comment line optionally carries
+``Lattice="ax 0 0 0 by 0 0 0 cz" pbc="T F T"`` for orthorhombic periodic
+cells, which is all the mesh supports.  Positions are stored in Bohr
+(column comment notes the unit) so round-trips are exact.
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+from .pseudo import AtomicConfiguration
+
+__all__ = ["write_xyz", "read_xyz"]
+
+
+def write_xyz(path: str, config: AtomicConfiguration, comment: str = "") -> None:
+    """Write a configuration as (extended) XYZ with Bohr coordinates."""
+    lines = [str(config.natoms)]
+    meta = [comment.strip(), "units=Bohr"]
+    if config.lattice is not None:
+        d = np.diag(config.lattice)
+        meta.append(
+            f'Lattice="{d[0]:.10f} 0 0 0 {d[1]:.10f} 0 0 0 {d[2]:.10f}"'
+        )
+        meta.append(
+            'pbc="' + " ".join("T" if p else "F" for p in config.pbc) + '"'
+        )
+    lines.append(" ".join(m for m in meta if m))
+    for s, p in zip(config.symbols, config.positions):
+        lines.append(f"{s:<3} {p[0]:.12f} {p[1]:.12f} {p[2]:.12f}")
+    with open(path, "w") as f:
+        f.write("\n".join(lines) + "\n")
+
+
+def read_xyz(path: str) -> AtomicConfiguration:
+    """Read a configuration written by :func:`write_xyz`."""
+    with open(path) as f:
+        raw = [ln.rstrip("\n") for ln in f]
+    if len(raw) < 2:
+        raise ValueError("not an XYZ file")
+    n = int(raw[0].strip())
+    comment = raw[1]
+    symbols, positions = [], []
+    for ln in raw[2 : 2 + n]:
+        parts = ln.split()
+        symbols.append(parts[0])
+        positions.append([float(x) for x in parts[1:4]])
+    lattice = None
+    pbc = (False, False, False)
+    m = re.search(r'Lattice="([^"]+)"', comment)
+    if m:
+        vals = [float(x) for x in m.group(1).split()]
+        lattice = np.array(vals).reshape(3, 3)
+        mp = re.search(r'pbc="([^"]+)"', comment)
+        if mp:
+            pbc = tuple(tok.upper().startswith("T") for tok in mp.group(1).split())
+        else:
+            pbc = (True, True, True)
+    return AtomicConfiguration(
+        symbols, np.asarray(positions), lattice=lattice, pbc=pbc
+    )

@@ -1,0 +1,99 @@
+"""Separable nonlocal pseudopotential projectors (Kleinman-Bylander form).
+
+The paper's ONCV pseudopotentials are *nonlocal*: besides the local part,
+each atom carries separable projector channels
+
+.. math::
+
+    V_{nl} = \\sum_{a,p} D_{a,p} \\, |\\beta_{a,p}\\rangle\\langle\\beta_{a,p}|.
+
+This module provides model Gaussian s-channel projectors (one per atom,
+element-parameterized) and the machinery to evaluate them on a mesh.  The
+Kohn-Sham operator applies the nonlocal term as rank-1 updates on the
+wavefunction block — two skinny GEMMs, the same structure as the real
+codes' projector kernels.
+
+Model parameters are chosen so the nonlocal correction is a perturbation on
+the local model world (it shifts eigenvalues by tens of mHa), exercising
+the full code path without re-tuning the element library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .pseudo import AtomicConfiguration
+
+__all__ = ["NonlocalProjector", "model_projectors", "projector_matrix"]
+
+#: model s-channel strengths (Ha) per element; positive = repulsive core
+_MODEL_STRENGTH = {
+    "H": 0.0,  # H needs no core repulsion
+    "He": 0.15,
+    "Li": 0.25,
+    "Be": 0.25,
+    "C": 0.30,
+    "N": 0.30,
+    "O": 0.30,
+    "F": 0.30,
+    "Ne": 0.30,
+    "Mg": 0.35,
+    "Si": 0.35,
+    "Y": 0.45,
+    "Cd": 0.45,
+    "Yb": 0.50,
+}
+
+
+@dataclass(frozen=True)
+class NonlocalProjector:
+    """One separable channel: ``D |beta><beta|`` with a Gaussian beta."""
+
+    center: tuple[float, float, float]
+    coefficient: float  #: D (Ha)
+    sigma: float  #: Gaussian width (Bohr)
+
+    def evaluate(self, points: np.ndarray) -> np.ndarray:
+        """L2-normalized Gaussian projector values at ``points``."""
+        d = np.asarray(points) - np.asarray(self.center)
+        r2 = np.einsum("ij,ij->i", d, d)
+        norm = (np.pi * self.sigma**2) ** (-0.75)
+        return norm * np.exp(-r2 / (2.0 * self.sigma**2))
+
+
+def model_projectors(
+    config: AtomicConfiguration, strength_scale: float = 1.0
+) -> list[NonlocalProjector]:
+    """One model s-channel projector per atom (periodic images included)."""
+    out = []
+    shifts = config._image_shifts()
+    for el, pos in zip(config.elements, config.positions):
+        D = strength_scale * _MODEL_STRENGTH.get(el.symbol, 0.3)
+        if D == 0.0:
+            continue
+        for s in shifts:
+            out.append(
+                NonlocalProjector(
+                    center=tuple(pos + s), coefficient=D, sigma=0.9 * el.r_c
+                )
+            )
+    return out
+
+
+def projector_matrix(mesh, projectors: list[NonlocalProjector]):
+    """Löwdin-basis projector block ``B`` (ndof, nproj) and coefficients.
+
+    In the nodal basis, ``<phi_I | beta> = beta(x_I) * m_I`` (GLL
+    quadrature); in the Löwdin basis the row scaling becomes ``sqrt(m_I)``.
+    The nonlocal apply is then ``V_nl X = B (D * (B^H X))``.
+    """
+    if not projectors:
+        return np.zeros((mesh.ndof, 0)), np.zeros(0)
+    sq = np.sqrt(mesh.mass_diag[mesh.free])
+    pts = mesh.node_coords[mesh.free]
+    B = np.stack([p.evaluate(pts) for p in projectors], axis=1)
+    B *= sq[:, None]
+    D = np.array([p.coefficient for p in projectors])
+    return B, D

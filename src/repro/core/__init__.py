@@ -1,0 +1,55 @@
+"""Core DFT-FE-MLXC solver: ChFES eigensolver, SCF, public API."""
+
+from .bands import band_structure, kpath
+from .chebyshev import chebyshev_filter, filter_block, lanczos_upper_bound
+from .density import atomic_guess_density, density_from_channels, orbitals_to_nodes
+from .dos import density_of_states, integrated_dos
+from .energy import EnergyBreakdown, total_energy
+from .forces import RelaxationResult, hellmann_feynman_forces, nonlocal_forces, relax
+from .hamiltonian import Electrostatics, gaussian_self_energy
+from .kerker import KerkerPreconditioner
+from .ksdft import DFTCalculation, auto_mesh, homo_lumo_gap
+from .mixing import AndersonMixer, LinearMixer
+from .occupations import OccupationSet, fermi_dirac, find_fermi_level
+from .orthonorm import blocked_gram, blocked_rotate, cholesky_orthonormalize
+from .rayleigh_ritz import projected_hamiltonian, rayleigh_ritz
+from .scf import KSChannel, SCFDriver, SCFOptions, SCFResult
+
+__all__ = [
+    "AndersonMixer",
+    "DFTCalculation",
+    "Electrostatics",
+    "EnergyBreakdown",
+    "KSChannel",
+    "KerkerPreconditioner",
+    "LinearMixer",
+    "OccupationSet",
+    "RelaxationResult",
+    "SCFDriver",
+    "SCFOptions",
+    "SCFResult",
+    "atomic_guess_density",
+    "band_structure",
+    "auto_mesh",
+    "blocked_gram",
+    "blocked_rotate",
+    "chebyshev_filter",
+    "cholesky_orthonormalize",
+    "density_from_channels",
+    "density_of_states",
+    "fermi_dirac",
+    "filter_block",
+    "find_fermi_level",
+    "gaussian_self_energy",
+    "hellmann_feynman_forces",
+    "integrated_dos",
+    "homo_lumo_gap",
+    "kpath",
+    "nonlocal_forces",
+    "lanczos_upper_bound",
+    "orbitals_to_nodes",
+    "projected_hamiltonian",
+    "relax",
+    "rayleigh_ritz",
+    "total_energy",
+]

@@ -1,0 +1,58 @@
+"""Electronic density of states (DOS) from converged eigenvalue sets.
+
+Gaussian-smeared DOS over the (k-point weighted) Kohn-Sham spectrum — the
+standard diagnostic for the metallic systems of the paper (Mg alloys,
+quasicrystals, whose pseudogap at the Fermi level is a classic signature).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["density_of_states", "integrated_dos"]
+
+
+def density_of_states(
+    eigenvalues: list[np.ndarray],
+    weights: list[float],
+    energies: np.ndarray,
+    sigma: float = 0.02,
+    degeneracy: float = 2.0,
+) -> np.ndarray:
+    """Gaussian-broadened DOS g(E) = sum_kn w_k deg N(E; eps_kn, sigma).
+
+    Parameters
+    ----------
+    eigenvalues, weights:
+        Per-channel eigenvalue arrays and k-point weights (an ``SCFResult``'s
+        ``eigenvalues`` and its channels' weights).
+    energies:
+        Grid on which to evaluate the DOS (Ha).
+    sigma:
+        Gaussian broadening width (Ha).
+    degeneracy:
+        2 for spin-restricted channels, 1 for spin-polarized ones.
+    """
+    if sigma <= 0:
+        raise ValueError("broadening must be positive")
+    E = np.asarray(energies, dtype=float)
+    g = np.zeros_like(E)
+    norm = 1.0 / (sigma * np.sqrt(2.0 * np.pi))
+    for evals, w in zip(eigenvalues, weights):
+        eps = np.asarray(evals, dtype=float)
+        g += (
+            w * degeneracy * norm
+            * np.exp(-0.5 * ((E[:, None] - eps[None, :]) / sigma) ** 2).sum(axis=1)
+        )
+    return g
+
+
+def integrated_dos(
+    energies: np.ndarray, dos: np.ndarray, up_to: float
+) -> float:
+    """Electron count below ``up_to`` by trapezoidal integration of the DOS."""
+    E = np.asarray(energies, dtype=float)
+    mask = E <= up_to
+    if mask.sum() < 2:
+        return 0.0
+    return float(np.trapezoid(np.asarray(dos)[mask], E[mask]))

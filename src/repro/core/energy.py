@@ -1,0 +1,85 @@
+"""Total (free) energy assembly for the Kohn-Sham ground state.
+
+Both the self-consistent Kohn-Sham energy and the Harris-Foulkes estimate
+evaluate
+
+.. math::
+
+    E[\\rho] = \\sum_{k\\sigma i} w_k f_i \\epsilon_i
+        - \\int \\sum_s \\rho_s v_{eff}^s
+        + \\tfrac12 \\int (\\rho - \\rho_c) v_{tot}
+        - E_{self} + E_{xc}[\\rho],
+
+with the Mermin free energy ``F = E - T S``.  The Harris-Foulkes variant
+evaluates every density-dependent term at the *input* density of the SCF
+iteration (no extra Poisson solve); at self-consistency both coincide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["EnergyBreakdown", "total_energy"]
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy components in Hartree."""
+
+    band: float  #: occupation-weighted eigenvalue sum
+    potential_correction: float  #: -int rho*v_eff (double-counting removal)
+    electrostatic: float  #: (1/2) int (rho-rho_c) v_tot - E_self
+    xc: float  #: E_xc[rho]
+    entropy: float  #: smearing entropy S (dimensionless)
+    temperature: float  #: k_B T (Ha)
+
+    @property
+    def total(self) -> float:
+        """Internal energy E."""
+        return self.band + self.potential_correction + self.electrostatic + self.xc
+
+    @property
+    def free_energy(self) -> float:
+        """Mermin free energy F = E - T S."""
+        return self.total - self.temperature * self.entropy
+
+
+def total_energy(
+    mesh,
+    eigenvalues: list[np.ndarray],
+    occupations: list[np.ndarray],
+    weights: list[float],
+    rho_spin: np.ndarray,
+    v_eff_spin: np.ndarray,
+    v_tot: np.ndarray,
+    rho_core: np.ndarray,
+    self_energy: float,
+    exc: float,
+    entropy: float,
+    temperature: float,
+) -> EnergyBreakdown:
+    """Assemble the energy breakdown from SCF quantities.
+
+    ``v_eff_spin`` is (nnodes, 2), the per-spin effective potential that was
+    in the Hamiltonian producing ``eigenvalues``; ``rho_spin`` (nnodes, 2)
+    is the density at which the functional is evaluated.
+    """
+    band = float(
+        sum(
+            w * float(np.dot(np.asarray(f, float), np.asarray(e, float)))
+            for e, f, w in zip(eigenvalues, occupations, weights)
+        )
+    )
+    rho_tot = rho_spin.sum(axis=1)
+    pot_corr = -float(mesh.integrate(np.einsum("is,is->i", rho_spin, v_eff_spin)))
+    es = 0.5 * float(mesh.integrate((rho_tot - rho_core) * v_tot)) - self_energy
+    return EnergyBreakdown(
+        band=band,
+        potential_correction=pot_corr,
+        electrostatic=es,
+        xc=exc,
+        entropy=entropy,
+        temperature=temperature,
+    )

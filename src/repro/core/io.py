@@ -1,0 +1,88 @@
+"""Checkpoint / restart: persist converged ground states to ``.npz``.
+
+Production DFT runs at the paper's scale are restartable; this module
+provides the laptop-scale equivalent: the converged density (and optionally
+the wavefunctions) are saved with enough metadata to validate that a
+restart matches its mesh, and ``DFTCalculation.run(rho0=...)`` warm-starts
+the SCF from the loaded density (typically converging in a couple of
+iterations).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+_FORMAT_VERSION = 1
+
+
+def save_checkpoint(
+    path: str, mesh, result, include_wavefunctions: bool = False
+) -> None:
+    """Write an ``SCFResult`` checkpoint for the given mesh.
+
+    ``include_wavefunctions`` additionally stores every channel's orbitals
+    (larger files; only needed for band-structure-style post-processing).
+    """
+    data = {
+        "format_version": _FORMAT_VERSION,
+        "nnodes": mesh.nnodes,
+        "ndof": mesh.ndof,
+        "degree": mesh.degree,
+        "lengths": mesh.lengths,
+        "pbc": np.array(mesh.pbc),
+        "rho_spin": result.rho_spin,
+        "v_tot": result.v_tot,
+        "v_xc_spin": result.v_xc_spin,
+        "fermi_level": result.fermi_level,
+        "energy": result.energy,
+        "free_energy": result.free_energy,
+        "converged": result.converged,
+        "n_channels": len(result.channels),
+    }
+    for i, (ch, ev, occ) in enumerate(
+        zip(result.channels, result.eigenvalues, result.occupations)
+    ):
+        data[f"kfrac_{i}"] = np.asarray(ch.kfrac)
+        data[f"weight_{i}"] = ch.weight
+        data[f"spin_{i}"] = -1 if ch.spin is None else ch.spin
+        data[f"eigenvalues_{i}"] = np.asarray(ev)
+        data[f"occupations_{i}"] = np.asarray(occ)
+        if include_wavefunctions:
+            data[f"psi_{i}"] = ch.psi
+    np.savez_compressed(path, **data)
+
+
+def load_checkpoint(path: str, mesh=None) -> dict:
+    """Load a checkpoint; validates mesh compatibility when one is given.
+
+    Returns a dict with the stored arrays; ``rho_spin`` can be passed
+    straight to ``DFTCalculation.run(rho0=...)``.
+    """
+    with np.load(path, allow_pickle=False) as f:
+        data = {k: f[k] for k in f.files}
+    if int(data["format_version"]) != _FORMAT_VERSION:
+        raise ValueError("unsupported checkpoint format version")
+    if mesh is not None:
+        if int(data["nnodes"]) != mesh.nnodes or int(data["degree"]) != mesh.degree:
+            raise ValueError(
+                "checkpoint was written for a different mesh "
+                f"(nnodes {int(data['nnodes'])} vs {mesh.nnodes})"
+            )
+        if not np.allclose(data["lengths"], mesh.lengths):
+            raise ValueError("checkpoint domain lengths do not match the mesh")
+    out = dict(data)
+    out["n_channels"] = int(data["n_channels"])
+    out["channels"] = [
+        {
+            "kfrac": tuple(data[f"kfrac_{i}"]),
+            "weight": float(data[f"weight_{i}"]),
+            "spin": None if int(data[f"spin_{i}"]) < 0 else int(data[f"spin_{i}"]),
+            "eigenvalues": data[f"eigenvalues_{i}"],
+            "occupations": data[f"occupations_{i}"],
+            "psi": data.get(f"psi_{i}"),
+        }
+        for i in range(out["n_channels"])
+    ]
+    return out

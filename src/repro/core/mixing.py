@@ -1,0 +1,77 @@
+"""SCF density mixing: simple linear and Anderson (Pulay/DIIS) acceleration.
+
+Anderson mixing minimizes the norm of a linear combination of the stored
+residuals ``F_i = rho_out_i - rho_in_i`` and mixes along the optimized
+direction — the standard workhorse for metallic SCF convergence used by
+DFT-FE.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+__all__ = ["LinearMixer", "AndersonMixer"]
+
+
+class LinearMixer:
+    """rho_next = rho_in + alpha * (rho_out - rho_in)."""
+
+    def __init__(self, alpha: float = 0.3) -> None:
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+
+    def reset(self) -> None:  # symmetric API with AndersonMixer
+        pass
+
+    def mix(self, rho_in: np.ndarray, rho_out: np.ndarray) -> np.ndarray:
+        return rho_in + self.alpha * (rho_out - rho_in)
+
+
+class AndersonMixer:
+    """Anderson (Pulay) mixing with a finite history window.
+
+    The mixed density is
+
+        rho* = sum_i c_i rho_in_i + alpha * sum_i c_i F_i,
+
+    with coefficients minimizing ``|sum_i c_i F_i|`` subject to
+    ``sum c_i = 1`` (solved via the normal equations with Tikhonov
+    regularization for robustness on near-degenerate histories).
+    """
+
+    def __init__(self, alpha: float = 0.3, history: int = 5, reg: float = 1e-12):
+        if history < 1:
+            raise ValueError("history must be >= 1")
+        self.alpha = alpha
+        self.history = history
+        self.reg = reg
+        self._rho: deque[np.ndarray] = deque(maxlen=history)
+        self._res: deque[np.ndarray] = deque(maxlen=history)
+
+    def reset(self) -> None:
+        self._rho.clear()
+        self._res.clear()
+
+    def mix(self, rho_in: np.ndarray, rho_out: np.ndarray) -> np.ndarray:
+        residual = rho_out - rho_in
+        self._rho.append(rho_in.copy())
+        self._res.append(residual.copy())
+        m = len(self._res)
+        if m == 1:
+            return rho_in + self.alpha * residual
+        R = np.stack([r.ravel() for r in self._res], axis=0)  # (m, n)
+        G = R @ R.T
+        scale = np.trace(G) / m
+        G += self.reg * max(scale, 1e-300) * np.eye(m)
+        ones = np.ones(m)
+        try:
+            x = np.linalg.solve(G, ones)
+        except np.linalg.LinAlgError:
+            x = ones / m
+        c = x / x.sum()
+        rho_bar = sum(ci * ri for ci, ri in zip(c, self._rho))
+        res_bar = sum(ci * fi for ci, fi in zip(c, self._res))
+        return rho_bar + self.alpha * res_bar

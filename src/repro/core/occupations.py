@@ -1,0 +1,101 @@
+"""Fermi-Dirac occupations, chemical potential search, smearing entropy.
+
+The paper's benchmark systems are metallic (Mg alloys, quasicrystals), so
+fractional occupations with Fermi-Dirac smearing are essential; the SCF
+minimizes the Mermin free energy ``F = E - T S``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import brentq
+
+__all__ = ["fermi_dirac", "find_fermi_level", "smearing_entropy", "OccupationSet"]
+
+
+def fermi_dirac(eigenvalues: np.ndarray, mu: float, temperature: float) -> np.ndarray:
+    """Occupation f(eps) = 1 / (1 + exp((eps - mu)/kT)); kT in Hartree.
+
+    ``temperature`` is k_B T in Hartree.  A zero temperature gives a sharp
+    step (degenerate states at the Fermi level get occupation 1/2).
+    """
+    eps = np.asarray(eigenvalues, dtype=float)
+    if temperature <= 0.0:
+        f = np.where(eps < mu, 1.0, 0.0)
+        f[np.isclose(eps, mu, atol=1e-12)] = 0.5
+        return f
+    x = (eps - mu) / temperature
+    x = np.clip(x, -500.0, 500.0)
+    return 1.0 / (1.0 + np.exp(x))
+
+
+@dataclass
+class OccupationSet:
+    """Occupations for a set of (k-point, spin) channels."""
+
+    occupations: list[np.ndarray]  #: per channel, same shapes as eigenvalues
+    fermi_level: float
+    entropy: float  #: dimensionless smearing entropy S/k_B (total, weighted)
+
+
+def find_fermi_level(
+    eigenvalues: list[np.ndarray],
+    weights: list[float],
+    n_electrons: float,
+    temperature: float,
+    degeneracy: float = 2.0,
+) -> OccupationSet:
+    """Find mu such that the weighted occupation sum equals ``n_electrons``.
+
+    Parameters
+    ----------
+    eigenvalues:
+        One array of eigenvalues per (k-point, spin) channel.
+    weights:
+        Channel weights (k-point weights; they must sum to 1 per spin).
+    degeneracy:
+        2 for spin-restricted channels, 1 for spin-polarized ones.
+    """
+    all_eps = np.concatenate([np.asarray(e, float) for e in eigenvalues])
+    if all_eps.size == 0:
+        raise ValueError("no eigenvalues supplied")
+    max_electrons = degeneracy * sum(
+        w * np.asarray(e).size for e, w in zip(eigenvalues, weights)
+    )
+    if n_electrons > max_electrons + 1e-9:
+        raise ValueError(
+            f"cannot place {n_electrons} electrons in {max_electrons} weighted states"
+        )
+
+    def count(mu: float) -> float:
+        return (
+            sum(
+                w * degeneracy * fermi_dirac(e, mu, temperature).sum()
+                for e, w in zip(eigenvalues, weights)
+            )
+            - n_electrons
+        )
+
+    spread = max(50.0 * max(temperature, 1e-3), 1.0)
+    lo, hi = float(all_eps.min()) - spread, float(all_eps.max()) + spread
+    mu = brentq(count, lo, hi, xtol=1e-13)
+
+    occs, entropy = [], 0.0
+    for e, w in zip(eigenvalues, weights):
+        f = fermi_dirac(e, mu, temperature)
+        occs.append(degeneracy * f)
+        if temperature > 0:
+            fc = np.clip(f, 1e-300, 1 - 1e-16)
+            s = -(fc * np.log(fc) + (1 - fc) * np.log1p(-fc))
+            entropy += w * degeneracy * float(np.sum(np.where((f > 0) & (f < 1), s, 0.0)))
+    return OccupationSet(occupations=occs, fermi_level=mu, entropy=entropy)
+
+
+def smearing_entropy(occ_fraction: np.ndarray) -> float:
+    """Entropy contribution -sum(f ln f + (1-f) ln(1-f)) of one channel."""
+    f = np.clip(np.asarray(occ_fraction, float), 0.0, 1.0)
+    inner = (f > 1e-300) & (f < 1.0 - 1e-16)
+    fc = f[inner]
+    return float(-(fc * np.log(fc) + (1 - fc) * np.log1p(-fc)).sum())

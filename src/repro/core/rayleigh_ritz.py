@@ -1,0 +1,93 @@
+"""Rayleigh-Ritz projection (RR, Algorithm 1 step 3).
+
+* **RR-P** — projected Hamiltonian ``Hhat = X^H (H X)`` via blocked GEMMs
+  with the same FP64-diagonal / FP32-off-diagonal mixed-precision layout as
+  CholGS-S (Hermiticity exploited, alpha=1).
+* **RR-D** — dense diagonalization of ``Hhat`` (FLOPs uncounted).
+* **RR-SR** — subspace rotation ``X <- X Q`` (alpha=2, mixed precision).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hpc.flops import gemm_flops
+
+from .orthonorm import _null, blocked_rotate, _f32
+
+__all__ = ["projected_hamiltonian", "rayleigh_ritz"]
+
+
+def projected_hamiltonian(
+    X: np.ndarray,
+    HX: np.ndarray,
+    block_size: int = 128,
+    mixed_precision: bool = False,
+    ledger=None,
+) -> np.ndarray:
+    """Hermitian projection ``Hhat = X^H HX`` by blocks (kernel RR-P)."""
+    n, nvec = X.shape
+    is_complex = np.issubdtype(X.dtype, np.complexfloating)
+    f32 = _f32(X.dtype)
+    Hp = np.zeros((nvec, nvec), dtype=X.dtype)
+    starts = list(range(0, nvec, block_size))
+    timer = ledger.timed("RR-P") if ledger is not None else _null()
+    with timer:
+        for i in starts:
+            si = slice(i, min(i + block_size, nvec))
+            for j in starts:
+                if j < i:
+                    continue
+                sj = slice(j, min(j + block_size, nvec))
+                offdiag = j > i
+                if mixed_precision and offdiag:
+                    blk = (
+                        X[:, si].astype(f32).conj().T @ HX[:, sj].astype(f32)
+                    ).astype(X.dtype)
+                    prec = "fp32"
+                else:
+                    blk = X[:, si].conj().T @ HX[:, sj]
+                    prec = "fp64"
+                Hp[si, sj] = blk
+                if offdiag:
+                    Hp[sj, si] = blk.conj().T
+                if ledger is not None:
+                    ledger.add(
+                        "RR-P",
+                        gemm_flops(si.stop - si.start, sj.stop - sj.start, n, is_complex),
+                        precision=prec,
+                    )
+    # Hermitize the diagonal blocks (round-off) for a clean eigh input.
+    Hp = 0.5 * (Hp + Hp.conj().T)
+    return Hp
+
+
+def rayleigh_ritz(
+    op,
+    X: np.ndarray,
+    block_size: int = 128,
+    mixed_precision: bool = False,
+    ledger=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Project, diagonalize, rotate.  Returns (eigenvalues, rotated X).
+
+    ``X`` must be orthonormal on entry (CholGS output).  The application of
+    ``H`` to the subspace is charged to the CF/cell-GEMM ledger by the
+    operator itself.
+    """
+    HX = op.apply(X)
+    Hp = projected_hamiltonian(
+        X, HX, block_size=block_size, mixed_precision=mixed_precision, ledger=ledger
+    )
+    timer = ledger.timed("RR-D") if ledger is not None else _null()
+    with timer:
+        evals, Q = np.linalg.eigh(Hp)
+    Xr = blocked_rotate(
+        X,
+        Q,
+        block_size=block_size,
+        mixed_precision=mixed_precision,
+        ledger=ledger,
+        kernel="RR-SR",
+    )
+    return evals, Xr

@@ -1,0 +1,323 @@
+"""Self-consistent field driver (the ground-state loop of DFT-FE-MLXC).
+
+Each SCF iteration performs the sequence the paper benchmarks in Table 3:
+
+1. **EP** — electrostatic potential solve for ``rho - rho_core``;
+2. **DH** — effective-potential (Hamiltonian) update, incl. XC evaluation;
+3. **ChFES** — one Chebyshev-filtered subspace iteration per (k, spin)
+   channel: CF -> CholGS (S, CI, O) -> RR (P, D, SR);
+4. occupation update (Fermi-Dirac, common chemical potential);
+5. **DC** — density computation;
+6. Anderson-mixed density update, Harris-Foulkes energy estimate.
+
+The first SCF step runs several filtering passes from a random subspace
+(paper footnote 8) with Lanczos spectral bounds.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.atoms.pseudo import AtomicConfiguration
+from repro.fem.assembly import KSOperator
+from repro.fem.mesh import Mesh3D
+from repro.xc.base import XCFunctional
+
+from .chebyshev import chebyshev_filter, lanczos_upper_bound
+from .density import atomic_guess_density, density_from_channels
+from .energy import EnergyBreakdown, total_energy
+from .hamiltonian import Electrostatics
+from .mixing import AndersonMixer, LinearMixer
+from .occupations import find_fermi_level
+from .orthonorm import cholesky_orthonormalize
+from .rayleigh_ritz import rayleigh_ritz
+
+__all__ = ["KSChannel", "SCFOptions", "SCFResult", "SCFDriver"]
+
+
+@dataclass
+class KSChannel:
+    """One (k-point, spin) eigenvalue channel."""
+
+    kfrac: tuple[float, float, float]
+    weight: float
+    spin: int | None  #: 0/1 for spin-polarized, None for spin-restricted
+    op: KSOperator
+    psi: np.ndarray | None = None  #: (ndof, nstates) Löwdin-basis orbitals
+    evals: np.ndarray | None = None
+    upper_bound: float = 0.0
+
+
+@dataclass
+class SCFOptions:
+    """Numerical knobs of the SCF loop and the ChFES eigensolver."""
+
+    max_iterations: int = 60
+    density_tol: float = 1e-6  #: L2 density residual per electron
+    energy_tol: float = 1e-8  #: Harris energy change per electron (Ha)
+    temperature: float = 1e-3  #: k_B T smearing (Ha)
+    cheb_degree: int = 15
+    n_init_passes: int = 5  #: filtering passes in the first SCF step
+    block_size: int = 64  #: CF / CholGS / RR block size (the paper's B_f)
+    mixed_precision: bool = False
+    mixing_alpha: float = 0.3
+    mixing_history: int = 6
+    mixer: str = "anderson"  #: "anderson" or "linear"
+    poisson_tol: float = 1e-9
+    lanczos_steps: int = 12
+    kerker_k0: float | None = None  #: enable Kerker mixing preconditioning
+    verbose: bool = False
+
+
+@dataclass
+class SCFResult:
+    """Converged (or best-effort) ground state."""
+
+    converged: bool
+    n_iterations: int
+    energy: float  #: self-consistent Kohn-Sham total energy (Ha)
+    free_energy: float  #: Mermin free energy (Ha)
+    fermi_level: float
+    eigenvalues: list[np.ndarray]
+    occupations: list[np.ndarray]
+    channels: list[KSChannel]
+    rho_spin: np.ndarray  #: (nnodes, 2)
+    v_tot: np.ndarray
+    v_xc_spin: np.ndarray
+    breakdown: EnergyBreakdown
+    history: list[dict] = field(default_factory=list)
+
+    @property
+    def rho(self) -> np.ndarray:
+        return self.rho_spin.sum(axis=1)
+
+
+class SCFDriver:
+    """Kohn-Sham SCF on a spectral-element mesh."""
+
+    def __init__(
+        self,
+        mesh: Mesh3D,
+        config: AtomicConfiguration,
+        xc: XCFunctional,
+        nstates: int,
+        kpoints: list[tuple[tuple[float, float, float], float]] | None = None,
+        spin_polarized: bool = False,
+        options: SCFOptions | None = None,
+        ledger=None,
+        nonlocal_projectors=None,
+    ) -> None:
+        self.mesh = mesh
+        self.config = config
+        self.xc = xc
+        self.nstates = int(nstates)
+        self.spin_polarized = bool(spin_polarized)
+        self.options = options or SCFOptions()
+        self.ledger = ledger
+        if kpoints is None:
+            kpoints = [((0.0, 0.0, 0.0), 1.0)]
+        wsum = sum(w for _, w in kpoints)
+        if abs(wsum - 1.0) > 1e-10:
+            raise ValueError("k-point weights must sum to 1")
+        self.electrostatics = Electrostatics(mesh, config, ledger=ledger)
+        self.channels: list[KSChannel] = []
+        ops: dict[tuple, KSOperator] = {}
+        spins = (0, 1) if spin_polarized else (None,)
+        for kfrac, w in kpoints:
+            key = tuple(np.round(kfrac, 12))
+            if key not in ops:
+                ops[key] = KSOperator(
+                    mesh, kfrac=kfrac, ledger=ledger,
+                    nonlocal_projectors=nonlocal_projectors,
+                )
+            for s in spins:
+                self.channels.append(
+                    KSChannel(kfrac=tuple(kfrac), weight=w, spin=s, op=ops[key])
+                )
+        min_states = int(np.ceil(config.n_electrons / (2.0 if not spin_polarized else 1.0)))
+        if self.nstates < min_states:
+            raise ValueError(
+                f"nstates={nstates} cannot hold {config.n_electrons} electrons"
+            )
+
+    # ------------------------------------------------------------------
+    def run(
+        self, rho0: np.ndarray | None = None, initial_polarization: float = 0.0
+    ) -> SCFResult:
+        opts = self.options
+        mesh = self.mesh
+        n_e = self.config.n_electrons
+        rho_spin = (
+            rho0.copy()
+            if rho0 is not None
+            else atomic_guess_density(mesh, self.config, initial_polarization)
+        )
+        mixer = (
+            AndersonMixer(opts.mixing_alpha, opts.mixing_history)
+            if opts.mixer == "anderson"
+            else LinearMixer(opts.mixing_alpha)
+        )
+        kerker = None
+        if opts.kerker_k0 is not None:
+            from .kerker import KerkerPreconditioner
+
+            kerker = KerkerPreconditioner(mesh, k0=opts.kerker_k0)
+        history: list[dict] = []
+        degeneracy = 1.0 if self.spin_polarized else 2.0
+        prev_energy = np.inf
+        converged = False
+        it = 0
+        occset = None
+        for it in range(1, opts.max_iterations + 1):
+            t0 = time.perf_counter()
+            v_tot = self.electrostatics.solve(rho_spin.sum(axis=1), tol=opts.poisson_tol)
+            v_xc, exc = self.xc.potential_and_energy(mesh, rho_spin)
+            v_eff = v_tot[:, None] + v_xc  # (nnodes, 2)
+
+            for ch in self.channels:
+                s = ch.spin if ch.spin is not None else 0
+                ch.op.set_potential(v_eff[:, s])
+                self._eigensolve(ch, first=(ch.psi is None))
+
+            occset = find_fermi_level(
+                [ch.evals for ch in self.channels],
+                [ch.weight for ch in self.channels],
+                n_e,
+                opts.temperature,
+                degeneracy=degeneracy,
+            )
+            rho_out = density_from_channels(
+                mesh, self.channels, occset.occupations, ledger=self.ledger
+            )
+            breakdown = total_energy(
+                mesh,
+                [ch.evals for ch in self.channels],
+                occset.occupations,
+                [ch.weight for ch in self.channels],
+                rho_spin,
+                v_eff,
+                v_tot,
+                self.electrostatics.core_density,
+                self.electrostatics.self_energy,
+                exc,
+                occset.entropy,
+                opts.temperature,
+            )
+            dr = rho_out - rho_spin
+            residual = float(
+                np.sqrt(mesh.integrate(np.einsum("is,is->i", dr, dr)))
+            ) / n_e
+            d_energy = abs(breakdown.free_energy - prev_energy) / n_e
+            prev_energy = breakdown.free_energy
+            history.append(
+                {
+                    "iteration": it,
+                    "free_energy": breakdown.free_energy,
+                    "residual": residual,
+                    "fermi_level": occset.fermi_level,
+                    "seconds": time.perf_counter() - t0,
+                }
+            )
+            if opts.verbose:  # pragma: no cover - logging
+                print(
+                    f"SCF {it:3d}  F = {breakdown.free_energy:+.10f} Ha  "
+                    f"res = {residual:.3e}  mu = {occset.fermi_level:+.6f}"
+                )
+            if residual < opts.density_tol and d_energy < opts.energy_tol and it > 1:
+                converged = True
+                rho_spin = rho_out
+                break
+            if kerker is not None:
+                rho_out = rho_spin + kerker(rho_out - rho_spin)
+            rho_spin = mixer.mix(rho_spin, rho_out)
+            np.clip(rho_spin, 0.0, None, out=rho_spin)
+
+        # Final self-consistent energy at the output density.
+        v_tot = self.electrostatics.solve(rho_spin.sum(axis=1), tol=opts.poisson_tol)
+        v_xc, exc = self.xc.potential_and_energy(mesh, rho_spin)
+        v_eff = v_tot[:, None] + v_xc
+        breakdown = total_energy(
+            mesh,
+            [ch.evals for ch in self.channels],
+            occset.occupations,
+            [ch.weight for ch in self.channels],
+            rho_spin,
+            v_eff,
+            v_tot,
+            self.electrostatics.core_density,
+            self.electrostatics.self_energy,
+            exc,
+            occset.entropy,
+            opts.temperature,
+        )
+        return SCFResult(
+            converged=converged,
+            n_iterations=it,
+            energy=breakdown.total,
+            free_energy=breakdown.free_energy,
+            fermi_level=occset.fermi_level,
+            eigenvalues=[ch.evals for ch in self.channels],
+            occupations=occset.occupations,
+            channels=self.channels,
+            rho_spin=rho_spin,
+            v_tot=v_tot,
+            v_xc_spin=v_xc,
+            breakdown=breakdown,
+            history=history,
+        )
+
+    # ------------------------------------------------------------------
+    def _eigensolve(self, ch: KSChannel, first: bool) -> None:
+        """One ChFES step for a channel (multi-pass on the first SCF step)."""
+        opts = self.options
+        op = ch.op
+        n = op.n
+        b = lanczos_upper_bound(op, k=opts.lanczos_steps)
+        ch.upper_bound = b
+        if first:
+            seed = (
+                int(1e6 * (1 + ch.kfrac[0] + 10 * ch.kfrac[1] + 100 * ch.kfrac[2]))
+                + 7919 * (0 if ch.spin is None else ch.spin + 1)
+            ) % 2**32
+            rng = np.random.default_rng(seed)
+            X = rng.standard_normal((n, self.nstates))
+            if np.issubdtype(op.dtype, np.complexfloating):
+                X = X + 1j * rng.standard_normal((n, self.nstates))
+            X = np.asarray(X, dtype=op.dtype)
+            X = cholesky_orthonormalize(X, block_size=opts.block_size)
+            # crude initial window: amplify the lower third of the spectrum
+            d = op.diagonal()
+            a0 = float(np.min(d)) - 1.0
+            a = a0 + 0.35 * (b - a0)
+            passes = max(opts.n_init_passes, 1)
+        else:
+            X = ch.psi
+            a0 = float(ch.evals[0])
+            a = float(ch.evals[-1]) + 0.01 * (b - float(ch.evals[-1]))
+            passes = 1
+
+        for p in range(passes):
+            X = chebyshev_filter(
+                op, X, opts.cheb_degree, a, b, a0,
+                block_size=opts.block_size, ledger=self.ledger,
+            )
+            X = cholesky_orthonormalize(
+                X,
+                block_size=opts.block_size,
+                mixed_precision=opts.mixed_precision,
+                ledger=self.ledger,
+            )
+            evals, X = rayleigh_ritz(
+                op,
+                X,
+                block_size=opts.block_size,
+                mixed_precision=opts.mixed_precision,
+                ledger=self.ledger,
+            )
+            a0 = float(evals[0])
+            a = float(evals[-1]) + 0.01 * (b - float(evals[-1]))
+        ch.psi = X
+        ch.evals = evals

@@ -1,0 +1,63 @@
+"""1D nodal Lagrange basis at arbitrary node sets (barycentric form).
+
+These are the building blocks of the tensor-product spectral element: the
+basis functions are Lagrange interpolants through the Gauss-Lobatto-Legendre
+nodes; ``derivative_matrix`` gives :math:`D_{qj} = \\ell_j'(x_q)` which,
+combined with the GLL weights, produces the dense reference stiffness matrix
+(the per-cell GEMM workload of the paper's Assembly_FE formulation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["barycentric_weights", "lagrange_eval", "derivative_matrix"]
+
+
+def barycentric_weights(nodes: np.ndarray) -> np.ndarray:
+    """Barycentric weights ``w_j = 1 / prod_{k != j}(x_j - x_k)``."""
+    nodes = np.asarray(nodes, dtype=float)
+    diff = nodes[:, None] - nodes[None, :]
+    np.fill_diagonal(diff, 1.0)
+    return 1.0 / np.prod(diff, axis=1)
+
+
+def lagrange_eval(nodes: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Evaluate all Lagrange basis polynomials at points ``x``.
+
+    Returns an array ``L`` of shape ``(len(x), len(nodes))`` with
+    ``L[q, j] = ell_j(x[q])``.  Exact (to round-off) at the nodes themselves.
+    """
+    nodes = np.asarray(nodes, dtype=float)
+    x = np.atleast_1d(np.asarray(x, dtype=float))
+    w = barycentric_weights(nodes)
+    L = np.zeros((x.size, nodes.size))
+    diff = x[:, None] - nodes[None, :]
+    exact = np.abs(diff) < 1e-14
+    on_node = exact.any(axis=1)
+    # Generic barycentric formula for points away from nodes.
+    with np.errstate(divide="ignore", invalid="ignore"):
+        terms = w[None, :] / diff
+        L[~on_node] = terms[~on_node] / terms[~on_node].sum(axis=1, keepdims=True)
+    # Points coinciding with a node: Kronecker delta.
+    rows, cols = np.nonzero(exact)
+    L[rows] = 0.0
+    L[rows, cols] = 1.0
+    return L
+
+
+def derivative_matrix(nodes: np.ndarray) -> np.ndarray:
+    """Differentiation matrix ``D[q, j] = ell_j'(nodes[q])``.
+
+    Uses the standard barycentric formula, with diagonal entries fixed by the
+    row-sum-zero property (derivative of the constant function vanishes).
+    """
+    nodes = np.asarray(nodes, dtype=float)
+    n = nodes.size
+    w = barycentric_weights(nodes)
+    diff = nodes[:, None] - nodes[None, :]
+    np.fill_diagonal(diff, 1.0)
+    D = (w[None, :] / w[:, None]) / diff
+    np.fill_diagonal(D, 0.0)
+    np.fill_diagonal(D, -D.sum(axis=1))
+    return D

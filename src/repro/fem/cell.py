@@ -1,0 +1,134 @@
+"""Reference hexahedral spectral element of degree ``p``.
+
+A cell carries ``(p+1)^3`` Gauss-Lobatto-Legendre (GLL) nodes.  Under GLL
+quadrature at the nodes:
+
+* the cell *mass* matrix is diagonal (tensor product of the 1D weights),
+* the cell *stiffness* matrix is dense, built from the 1D differentiation
+  matrix: ``khat = D^T diag(w) D``.
+
+The dense ``(p+1)^3 x (p+1)^3`` stiffness (plus a diagonal potential) is
+exactly the per-cell Hamiltonian ``H_c`` that the paper multiplies against
+wavefunction blocks with ``xGEMMStridedBatched``; here the same batched
+product is expressed with NumPy ``matmul`` over a ``(ncells, nodes, B)``
+tensor (see :mod:`repro.fem.assembly`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from .basis1d import derivative_matrix
+from .quadrature import gauss_lobatto_legendre
+
+__all__ = ["ReferenceCell", "reference_cell"]
+
+
+@dataclass(frozen=True)
+class ReferenceCell:
+    """Tensor-product GLL element data on [-1, 1]^3 for degree ``p``."""
+
+    p: int
+    nodes1d: np.ndarray  #: (p+1,) GLL nodes
+    weights1d: np.ndarray  #: (p+1,) GLL weights
+    deriv1d: np.ndarray  #: (p+1, p+1) differentiation matrix D[q, j]
+    stiff1d: np.ndarray  #: (p+1, p+1) reference 1D stiffness D^T W D
+    mass1d: np.ndarray  #: (p+1,) diagonal 1D mass (== weights)
+
+    @property
+    def n1d(self) -> int:
+        return self.p + 1
+
+    @property
+    def nodes_per_cell(self) -> int:
+        return self.n1d**3
+
+    def local_coords(self) -> np.ndarray:
+        """Reference coordinates of the cell nodes, shape (npc, 3).
+
+        Local node ordering is C-order over (i, j, k) -> (x, y, z), i.e. the
+        z index varies fastest: ``local = (i * n1d + j) * n1d + k``.
+        """
+        n = self.n1d
+        xi = self.nodes1d
+        grid = np.stack(np.meshgrid(xi, xi, xi, indexing="ij"), axis=-1)
+        return grid.reshape(n**3, 3)
+
+    def mass_diag(self, h: tuple[float, float, float]) -> np.ndarray:
+        """Diagonal of the cell mass matrix for a box cell of size ``h``."""
+        hx, hy, hz = h
+        w = self.weights1d
+        m = (
+            (hx / 2.0) * w[:, None, None]
+            * (hy / 2.0) * w[None, :, None]
+            * (hz / 2.0) * w[None, None, :]
+        )
+        return m.reshape(-1)
+
+    def stiffness(self, h: tuple[float, float, float]) -> np.ndarray:
+        """Dense cell stiffness ``K_c`` for an axis-aligned box cell.
+
+        ``K_c[I, J] = integral grad(phi_I) . grad(phi_J)`` over the cell,
+        assembled from the tensor-product structure::
+
+            K = kx (x) my (x) mz + mx (x) ky (x) mz + mx (x) my (x) kz
+
+        with 1D stiffness ``k = (2/h) khat`` and diagonal 1D mass
+        ``m = (h/2) w``.
+        """
+        hx, hy, hz = h
+        n = self.n1d
+        w = self.weights1d
+        khat = self.stiff1d
+        kx, ky, kz = (2.0 / hx) * khat, (2.0 / hy) * khat, (2.0 / hz) * khat
+        mx, my, mz = (hx / 2.0) * w, (hy / 2.0) * w, (hz / 2.0) * w
+
+        K = np.zeros((n, n, n, n, n, n))
+        eye = np.eye(n)
+        # term 1: kx_ii' * my_j d_jj' * mz_k d_kk'
+        K += np.einsum("ad,b,be,c,cf->abcdef", kx, my, eye, mz, eye)
+        K += np.einsum("a,ad,be,c,cf->abcdef", mx, eye, ky, mz, eye)
+        K += np.einsum("a,ad,b,be,cf->abcdef", mx, eye, my, eye, kz)
+        npc = n**3
+        return K.reshape(npc, npc)
+
+    def gradient_operators(
+        self, h: tuple[float, float, float]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Nodal gradient operators ``G_x, G_y, G_z`` (npc x npc each).
+
+        ``(G_a u)_I`` is the ``a``-derivative of the interpolant at node I.
+        Used for GGA/MLXC density gradients and weak divergences.
+        """
+        n = self.n1d
+        D = self.deriv1d
+        eye = np.eye(n)
+        hx, hy, hz = h
+
+        def _embed(axis_mat: np.ndarray, axis: int) -> np.ndarray:
+            ops = [eye, eye, eye]
+            ops[axis] = axis_mat
+            out = np.einsum("ad,be,cf->abcdef", ops[0], ops[1], ops[2])
+            return out.reshape(n**3, n**3)
+
+        return (
+            _embed((2.0 / hx) * D, 0),
+            _embed((2.0 / hy) * D, 1),
+            _embed((2.0 / hz) * D, 2),
+        )
+
+
+@lru_cache(maxsize=16)
+def reference_cell(p: int) -> ReferenceCell:
+    """Build (and cache) the reference element of polynomial degree ``p``."""
+    if p < 1:
+        raise ValueError("polynomial degree must be >= 1")
+    x, w = gauss_lobatto_legendre(p + 1)
+    D = derivative_matrix(x)
+    khat = D.T @ np.diag(w) @ D
+    return ReferenceCell(
+        p=p, nodes1d=x, weights1d=w, deriv1d=D, stiff1d=khat, mass1d=w.copy()
+    )

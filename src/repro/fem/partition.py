@@ -1,0 +1,118 @@
+"""Domain decomposition of the spectral-element mesh.
+
+Cells are divided among ``nranks`` MPI-style ranks as contiguous blocks of a
+3D process grid (mirroring the load-balanced FE partitioning in DFT-FE, which
+the paper reports gives near-equal DoF per task).  Nodes on the faces shared
+between ranks form the *halo*: the ``Assembly_FE`` scatter requires summing
+contributions to these nodes across ranks — this is the point-to-point
+communication the paper performs in FP32 (Sec 5.4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from .mesh import Mesh3D
+
+__all__ = ["Partition", "process_grid"]
+
+
+def process_grid(nranks: int, ncells_axis: tuple[int, int, int]) -> tuple[int, int, int]:
+    """Choose a 3D process grid for ``nranks`` close to the cell aspect ratio.
+
+    Greedy factorization: repeatedly assign the largest prime factor to the
+    axis with the most cells per process.
+    """
+    grid = [1, 1, 1]
+    factors = _prime_factors(nranks)
+    for f in sorted(factors, reverse=True):
+        loads = [ncells_axis[a] / grid[a] for a in range(3)]
+        axis = int(np.argmax(loads))
+        grid[axis] *= f
+    return tuple(grid)
+
+
+def _prime_factors(n: int) -> list[int]:
+    out = []
+    d = 2
+    while d * d <= n:
+        while n % d == 0:
+            out.append(d)
+            n //= d
+        d += 1
+    if n > 1:
+        out.append(n)
+    return out
+
+
+@dataclass
+class Partition:
+    """Assignment of mesh cells (and nodes) to ``nranks`` ranks."""
+
+    mesh: Mesh3D
+    nranks: int
+
+    def __post_init__(self) -> None:
+        if self.nranks < 1:
+            raise ValueError("need at least one rank")
+        ncx, ncy, ncz = self.mesh.ncells_axis
+        if self.nranks > self.mesh.ncells:
+            raise ValueError("more ranks than cells")
+        self.grid = process_grid(self.nranks, (ncx, ncy, ncz))
+        splits = [
+            np.array_split(np.arange(n), g)
+            for n, g in zip((ncx, ncy, ncz), self.grid)
+        ]
+        cells = np.arange(self.mesh.ncells).reshape(ncx, ncy, ncz)
+        self.cells_of_rank: list[np.ndarray] = []
+        for ix in splits[0]:
+            for iy in splits[1]:
+                for iz in splits[2]:
+                    self.cells_of_rank.append(
+                        cells[np.ix_(ix, iy, iz)].ravel().copy()
+                    )
+        # process_grid may produce fewer blocks than nranks never; exactly prod(grid)
+        assert len(self.cells_of_rank) == int(np.prod(self.grid))
+
+    @cached_property
+    def nodes_of_rank(self) -> list[np.ndarray]:
+        """Sorted unique global node indices touched by each rank's cells."""
+        conn = self.mesh.conn
+        return [np.unique(conn[c]) for c in self.cells_of_rank]
+
+    @cached_property
+    def touch_count(self) -> np.ndarray:
+        """(nnodes,) number of ranks whose cells touch each node."""
+        count = np.zeros(self.mesh.nnodes, dtype=np.int32)
+        for nodes in self.nodes_of_rank:
+            count[nodes] += 1
+        return count
+
+    @cached_property
+    def halo_nodes(self) -> np.ndarray:
+        """Global indices of nodes shared between two or more ranks."""
+        return np.nonzero(self.touch_count > 1)[0]
+
+    @cached_property
+    def owner(self) -> np.ndarray:
+        """(nnodes,) owning rank of each node (lowest touching rank)."""
+        own = np.full(self.mesh.nnodes, -1, dtype=np.int32)
+        for r in range(len(self.cells_of_rank) - 1, -1, -1):
+            own[self.nodes_of_rank[r]] = r
+        return own
+
+    def halo_nodes_of_rank(self, rank: int) -> np.ndarray:
+        """Halo nodes touched by ``rank`` (sent/received each scatter)."""
+        nodes = self.nodes_of_rank[rank]
+        return nodes[self.touch_count[nodes] > 1]
+
+    def dof_balance(self) -> np.ndarray:
+        """Owned-node counts per rank — near-equal for balanced partitions."""
+        return np.bincount(self.owner, minlength=len(self.cells_of_rank))
+
+    def halo_fraction(self) -> float:
+        """Fraction of nodes that are shared (communication surface)."""
+        return float(self.halo_nodes.size) / float(self.mesh.nnodes)

@@ -1,0 +1,178 @@
+"""Matrix-free finite-element Poisson solver (electrostatics, "EP" step).
+
+Solves the weak-form problem ``K v = 4*pi*M*rho`` for the electrostatic
+potential of a charge (number-)density ``rho`` on the spectral-element mesh,
+using preconditioned conjugate gradients with a Jacobi (inverse stiffness
+diagonal) preconditioner and the batched cell-level stiffness application of
+:class:`repro.fem.assembly.CellStiffness`.
+
+Boundary handling:
+
+* isolated systems — inhomogeneous Dirichlet values from a multipole
+  (monopole + dipole) expansion of the net charge, imposed by lifting;
+* fully periodic systems — the constant nullspace is projected out and the
+  right-hand side must integrate to (numerically) zero, i.e. the cell must be
+  charge neutral (electrons + smeared cores).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .assembly import CellStiffness
+from .mesh import Mesh3D
+
+__all__ = ["PoissonSolver", "multipole_boundary_values"]
+
+
+def multipole_boundary_values(
+    mesh: Mesh3D, rho_full: np.ndarray, center: np.ndarray | None = None
+) -> np.ndarray:
+    """Dirichlet values of the potential of ``rho`` on the outer boundary.
+
+    Uses the monopole + dipole far-field expansion about ``center`` (default:
+    charge-weighted centroid falls back to the box center for near-neutral
+    densities).  Returns a full-node array that is zero away from the
+    boundary.
+    """
+    coords = mesh.node_coords
+    if center is None:
+        center = 0.5 * mesh.lengths
+    center = np.asarray(center, dtype=float)
+    q = float(mesh.integrate(rho_full))
+    dip = mesh.integrate(rho_full[:, None] * (coords - center))
+    out = np.zeros(mesh.nnodes)
+    b = mesh.boundary_mask
+    d = coords[b] - center
+    r = np.sqrt(np.einsum("ij,ij->i", d, d))
+    out[b] = q / r + (d @ dip) / r**3
+    return out
+
+
+@dataclass
+class PoissonResult:
+    """Converged potential plus solver diagnostics."""
+
+    potential: np.ndarray  #: full-node potential values
+    iterations: int
+    residual: float
+    converged: bool
+
+
+class PoissonSolver:
+    """Preconditioned-CG Poisson solver on a spectral-element mesh."""
+
+    def __init__(self, mesh: Mesh3D, ledger=None) -> None:
+        self.mesh = mesh
+        self.stiff = CellStiffness(mesh, kfrac=None, ledger=ledger)
+        self._kdiag = self.stiff.diagonal_full()
+        self._fully_periodic = mesh.free.size == mesh.nnodes
+
+    def solve(
+        self,
+        rho_full: np.ndarray,
+        boundary_values: np.ndarray | None = None,
+        tol: float = 1e-10,
+        maxiter: int = 2000,
+        x0: np.ndarray | None = None,
+    ) -> PoissonResult:
+        """Solve ``-lap v = 4*pi*rho`` for the full-node potential ``v``.
+
+        Parameters
+        ----------
+        rho_full:
+            Charge number-density sampled at all mesh nodes.
+        boundary_values:
+            Full-node array with Dirichlet values at boundary nodes (see
+            :func:`multipole_boundary_values`); ignored on fully periodic
+            meshes.
+        x0:
+            Optional initial guess (full-node array), e.g. the previous SCF
+            iteration's potential.
+        """
+        mesh = self.mesh
+        b_full = 4.0 * np.pi * mesh.mass_diag * rho_full
+
+        if self._fully_periodic:
+            return self._solve_periodic(b_full, tol, maxiter, x0)
+
+        free = mesh.free
+        lift = np.zeros(mesh.nnodes)
+        if boundary_values is not None:
+            lift[mesh.boundary_mask] = boundary_values[mesh.boundary_mask]
+            b_full = b_full - self.stiff.apply_full(lift)
+        b = b_full[free]
+        diag = self._kdiag[free]
+
+        def apply_K(x: np.ndarray) -> np.ndarray:
+            full = np.zeros(mesh.nnodes)
+            full[free] = x
+            return self.stiff.apply_full(full)[free]
+
+        x_start = None if x0 is None else (x0 - lift)[free]
+        x, it, res, ok = _pcg(apply_K, b, diag, tol, maxiter, x0=x_start)
+        v = lift.copy()
+        v[free] += x
+        return PoissonResult(v, it, res, ok)
+
+    def _solve_periodic(
+        self, b_full: np.ndarray, tol: float, maxiter: int, x0: np.ndarray | None
+    ) -> PoissonResult:
+        mesh = self.mesh
+        w = mesh.mass_diag
+        vol = float(np.sum(w))
+        # Project the RHS onto the range of K (remove the constant component).
+        b = b_full - w * (np.sum(b_full) / vol)
+
+        def apply_K(x: np.ndarray) -> np.ndarray:
+            y = self.stiff.apply_full(x)
+            return y - w * (np.dot(w, y) / np.dot(w, w) * 0.0)  # K maps const->0
+
+        def project(x: np.ndarray) -> np.ndarray:
+            return x - np.dot(w, x) / vol
+
+        x, it, res, ok = _pcg(
+            apply_K, b, self._kdiag, tol, maxiter, project=project, x0=x0
+        )
+        return PoissonResult(x, it, res, ok)
+
+
+def _pcg(
+    apply_A,
+    b: np.ndarray,
+    diag: np.ndarray,
+    tol: float,
+    maxiter: int,
+    project=None,
+    x0: np.ndarray | None = None,
+) -> tuple[np.ndarray, int, float, bool]:
+    """Jacobi-preconditioned conjugate gradients (SPD systems)."""
+    inv_diag = 1.0 / diag
+    x = np.zeros_like(b) if x0 is None else x0.copy()
+    if project is not None:
+        x = project(x)
+    r = b - apply_A(x) if x.any() else b.copy()
+    if project is not None:
+        r = project(r)
+    z = inv_diag * r
+    p = z.copy()
+    rz = float(np.dot(r, z))
+    bnorm = max(float(np.linalg.norm(b)), 1e-300)
+    res = float(np.linalg.norm(r)) / bnorm
+    it = 0
+    while res > tol and it < maxiter:
+        Ap = apply_A(p)
+        alpha = rz / float(np.dot(p, Ap))
+        x += alpha * p
+        r -= alpha * Ap
+        if project is not None:
+            r = project(r)
+        z = inv_diag * r
+        rz_new = float(np.dot(r, z))
+        p = z + (rz_new / rz) * p
+        rz = rz_new
+        res = float(np.linalg.norm(r)) / bnorm
+        it += 1
+    return x, it, res, res <= tol

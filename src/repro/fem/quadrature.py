@@ -1,0 +1,56 @@
+"""1D quadrature rules for spectral finite elements.
+
+Provides Gauss-Legendre (GL) and Gauss-Lobatto-Legendre (GLL) nodes and
+weights on the reference interval [-1, 1].  The GLL rule with ``n`` points is
+exact for polynomials of degree ``2n - 3``; placing the nodal basis at GLL
+points and quadrating at the same points yields a *diagonal* mass matrix,
+which realizes the paper's Löwdin-orthonormalized finite-element basis.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+from numpy.polynomial import legendre as npleg
+
+__all__ = ["gauss_legendre", "gauss_lobatto_legendre"]
+
+
+@lru_cache(maxsize=64)
+def _gll_cached(n: int) -> tuple[tuple[float, ...], tuple[float, ...]]:
+    if n < 2:
+        raise ValueError("GLL rule needs at least 2 points")
+    # Interior nodes: roots of P'_{n-1}(x).
+    c = np.zeros(n)
+    c[-1] = 1.0
+    dP = npleg.legder(c)
+    interior = npleg.legroots(dP)
+    x = np.concatenate(([-1.0], np.sort(interior), [1.0]))
+    # Newton polish: roots of (1-x^2) P'_{n-1}(x).
+    for _ in range(3):
+        d1 = npleg.legval(x[1:-1], dP)
+        d2 = npleg.legval(x[1:-1], npleg.legder(dP))
+        x[1:-1] -= d1 / d2
+    Pn1 = npleg.legval(x, c)
+    w = 2.0 / (n * (n - 1) * Pn1**2)
+    return tuple(x.tolist()), tuple(w.tolist())
+
+
+def gauss_lobatto_legendre(n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``n`` GLL nodes and weights on [-1, 1].
+
+    Exact for polynomials of degree ``2n - 3``.
+    """
+    x, w = _gll_cached(n)
+    return np.array(x), np.array(w)
+
+
+def gauss_legendre(n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``n`` Gauss-Legendre nodes and weights on [-1, 1].
+
+    Exact for polynomials of degree ``2n - 1``.
+    """
+    if n < 1:
+        raise ValueError("Gauss rule needs at least 1 point")
+    return npleg.leggauss(n)

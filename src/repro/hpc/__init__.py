@@ -1,0 +1,48 @@
+"""HPC substrate: FLOP accounting, machine models, virtual cluster, perf model."""
+
+from .cluster import TrafficReport, VirtualCluster
+from .distributed import DistributedKSOperator
+from .flops import (
+    FlopLedger,
+    KernelTally,
+    chebyshev_filter_flops,
+    gemm_flops,
+    projected_step_flops,
+)
+from .machine import CRUSHER, FRONTIER, MACHINES, PERLMUTTER, SUMMIT, MachineSpec
+from .perfmodel import KernelTime, ModelOptions, cf_block_efficiency, kernel_times
+from .runtime import (
+    PAPER_WORKLOADS,
+    ScfModel,
+    Workload,
+    scf_breakdown,
+    strong_scaling,
+    time_to_solution,
+)
+
+__all__ = [
+    "CRUSHER",
+    "DistributedKSOperator",
+    "FRONTIER",
+    "FlopLedger",
+    "KernelTally",
+    "KernelTime",
+    "MACHINES",
+    "MachineSpec",
+    "ModelOptions",
+    "PAPER_WORKLOADS",
+    "PERLMUTTER",
+    "SUMMIT",
+    "ScfModel",
+    "TrafficReport",
+    "VirtualCluster",
+    "Workload",
+    "cf_block_efficiency",
+    "chebyshev_filter_flops",
+    "gemm_flops",
+    "kernel_times",
+    "projected_step_flops",
+    "scf_breakdown",
+    "strong_scaling",
+    "time_to_solution",
+]

@@ -1,0 +1,223 @@
+"""Exascale run modeling for the paper's benchmark systems (Tables 1-3).
+
+Couples the workload parameters of the paper's systems (FE DoF, eigenstates,
+k-points, FE degree) to the kernel-level performance model, producing the
+per-SCF breakdowns, sustained PFLOPS, strong-scaling curves and
+time-to-solution that the benchmark harness compares against the published
+numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from .machine import FRONTIER, PERLMUTTER, SUMMIT, MachineSpec
+from .perfmodel import KernelTime, ModelOptions, kernel_times
+
+__all__ = [
+    "Workload",
+    "ScfModel",
+    "PAPER_WORKLOADS",
+    "invdft_iteration_time",
+    "scf_breakdown",
+    "strong_scaling",
+    "time_to_solution",
+]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """Parameters of one benchmark system's eigenproblem."""
+
+    name: str
+    natoms: int
+    electrons_per_kpt: int
+    n_kpoints: int
+    M: float  #: FE degrees of freedom
+    fe_degree: int
+    n_instances: int  #: concurrent eigensolver instances (k x band groups)
+    N_per_instance: float  #: wavefunctions per instance
+    cheb_degree: int
+    complex_arith: bool
+
+    @property
+    def total_electrons(self) -> int:
+        return self.electrons_per_kpt * self.n_kpoints
+
+    @property
+    def npc(self) -> int:
+        return (self.fe_degree + 1) ** 3
+
+
+def _mgy_workload(name, natoms, e_per_k, nk, M, cheb=23) -> Workload:
+    """Mg-Y alloy systems.
+
+    ``M`` is pinned per system: 96e6 FE DoF for DislocMgY (paper Sec 5.4.1)
+    and ~22,924 DoF/atom for the TwinDislocMgY family (1.7e9 DoF at 74,164
+    atoms, paper Fig 6).  The per-instance eigenstate count is N = 0.289 x
+    (electrons per k-point), which reproduces the paper's Sec 6.3 aggregate
+    FLOP counts (e.g. CholGS-S of TwinDislocMgY(C): 4 N^2 M x 4 k-points =
+    5.44e19 = 54,429 PFLOP, matching Table 3's 54,428.9).
+    """
+    N = 0.289 * e_per_k
+    return Workload(
+        name=name, natoms=natoms, electrons_per_kpt=e_per_k, n_kpoints=nk,
+        M=M, fe_degree=8, n_instances=nk, N_per_instance=N,
+        cheb_degree=cheb, complex_arith=True,
+    )
+
+
+_TWIN_DOF_PER_ATOM = 1.7e9 / 74164.0
+
+PAPER_WORKLOADS: dict[str, Workload] = {
+    "DislocMgY": _mgy_workload("DislocMgY", 6016, 12041, 2, 96e6),
+    "TwinDislocMgY(A)": _mgy_workload(
+        "TwinDislocMgY(A)", 36344, 75667, 4, 36344 * _TWIN_DOF_PER_ATOM
+    ),
+    "TwinDislocMgY(B)": _mgy_workload(
+        "TwinDislocMgY(B)", 74164, 154781, 3, 1.7e9
+    ),
+    "TwinDislocMgY(C)": _mgy_workload(
+        "TwinDislocMgY(C)", 74164, 154781, 4, 1.7e9
+    ),
+    # YbCd quasicrystal nanoparticle: isolated (Gamma-only, real arithmetic)
+    "YbCdQC": Workload(
+        name="YbCdQC", natoms=1943, electrons_per_kpt=40040, n_kpoints=1,
+        M=75_069_290.0, fe_degree=7, n_instances=1,
+        N_per_instance=40040 / 2 * 1.15, cheb_degree=60, complex_arith=False,
+    ),
+    # invDFT benchmark molecule (ortho-benzyne analog, Sec 7.1.1):
+    # all-electron adaptive mesh (large M), eigensolve + blocked adjoint
+    # applies folded into an effective filter degree
+    "OrthoBenzyne": Workload(
+        name="OrthoBenzyne", natoms=10, electrons_per_kpt=28, n_kpoints=1,
+        M=2.3e8, fe_degree=6, n_instances=1, N_per_instance=250.0,
+        cheb_degree=200, complex_arith=False,
+    ),
+}
+
+
+@dataclass
+class ScfModel:
+    """Modeled single-SCF-iteration performance."""
+
+    workload: Workload
+    machine: MachineSpec
+    nodes: int
+    kernels: list[KernelTime]
+
+    @property
+    def wall_time(self) -> float:
+        return sum(k.seconds for k in self.kernels)
+
+    @property
+    def counted_pflop(self) -> float:
+        return sum(k.flops for k in self.kernels) / 1e15
+
+    @property
+    def sustained_pflops(self) -> float:
+        return self.counted_pflop / self.wall_time
+
+    @property
+    def peak_fraction(self) -> float:
+        return self.sustained_pflops / self.machine.system_peak_pflops(self.nodes)
+
+    def table_rows(self) -> list[tuple[str, float, float, float]]:
+        """(kernel, seconds, PFLOP, PFLOPS) rows like Table 3."""
+        rows = []
+        for k in self.kernels:
+            rows.append((k.name, k.seconds, k.flops / 1e15, k.pflops() / 1.0))
+        return rows
+
+
+def scf_breakdown(
+    workload: Workload,
+    machine: MachineSpec,
+    nodes: int,
+    opts: ModelOptions | None = None,
+) -> ScfModel:
+    """Model one SCF iteration of ``workload`` on ``nodes`` of ``machine``."""
+    kernels = kernel_times(
+        machine,
+        nodes,
+        M=workload.M,
+        N=workload.N_per_instance,
+        n_instances=workload.n_instances,
+        npc=workload.npc,
+        cheb_degree=workload.cheb_degree,
+        complex_arith=workload.complex_arith,
+        opts=opts,
+    )
+    return ScfModel(workload=workload, machine=machine, nodes=nodes, kernels=kernels)
+
+
+def strong_scaling(
+    workload: Workload,
+    machine: MachineSpec,
+    node_counts: list[int],
+    opts: ModelOptions | None = None,
+) -> list[tuple[int, float, float]]:
+    """(nodes, wall_time_per_scf, scaling_efficiency) over ``node_counts``.
+
+    Efficiency is relative to ideal scaling from the smallest node count.
+    """
+    results = []
+    base = None
+    for n in node_counts:
+        m = scf_breakdown(workload, machine, n, opts)
+        if base is None:
+            base = (n, m.wall_time)
+        eff = (base[1] * base[0]) / (m.wall_time * n)
+        results.append((n, m.wall_time, eff))
+    return results
+
+
+def invdft_iteration_time(
+    workload: Workload,
+    machine: MachineSpec,
+    nodes: int,
+    n_minres: int = 300,
+    opts: ModelOptions | None = None,
+) -> float:
+    """Modeled wall time of one invDFT optimization iteration (Fig 7).
+
+    One iteration = a KS eigensolve + projected block-MINRES adjoint solves.
+    The bulk compute reuses the SCF kernel model; the sequential MINRES
+    recurrence adds a latency-bound overhead per iteration (two reduction
+    collectives + halo exchange per step) that grows with the node count —
+    this is what bends the strong-scaling curve away from ideal in the
+    paper's Fig 7 (104 s -> 20 s over 4 -> 32 nodes, a 5.2x speedup).
+    """
+    m = scf_breakdown(workload, machine, nodes, opts)
+    lat_scale = machine.net_latency / 3e-6
+    overhead = n_minres * lat_scale * (1.0e-3 + 9.0e-4 * nodes)
+    return m.wall_time + overhead
+
+
+def time_to_solution(
+    workload: Workload,
+    machine: MachineSpec,
+    nodes: int,
+    n_scf: int = 34,
+    opts: ModelOptions | None = None,
+) -> dict:
+    """Full ground-state time model (Table 2 structure).
+
+    Initialization covers mesh/partition setup, atomic-density superposition
+    and the extra filtering passes of the first SCF step.
+    """
+    m = scf_breakdown(workload, machine, nodes, opts)
+    extra_first_scf = 4.0 * next(k.seconds for k in m.kernels if k.name == "CF")
+    init = 0.35 * m.wall_time + 0.5 * extra_first_scf
+    total_scf = n_scf * m.wall_time + extra_first_scf
+    return {
+        "initialization": init,
+        "total_scf": total_scf,
+        "n_scf": n_scf,
+        "total": init + total_scf,
+        "per_scf": m.wall_time,
+        "sustained_pflops": m.sustained_pflops,
+        "peak_fraction": m.peak_fraction,
+    }

@@ -1,0 +1,16 @@
+"""Inverse DFT: exact XC potentials from QMB densities (paper Sec 5.1)."""
+
+from .adjoint import adjoint_rhs, potential_gradient, solve_adjoint
+from .inverse import InverseDFT, InverseDFTResult, exact_xc_energy
+from .minres import BlockMinresResult, block_minres
+
+__all__ = [
+    "BlockMinresResult",
+    "InverseDFT",
+    "InverseDFTResult",
+    "adjoint_rhs",
+    "block_minres",
+    "exact_xc_energy",
+    "potential_gradient",
+    "solve_adjoint",
+]

@@ -1,0 +1,133 @@
+"""Preconditioned block MINRES for the invDFT adjoint solves (Sec 5.3.1).
+
+Solves ``(H - eps_j I) x_j = b_j`` for a *block* of right-hand sides with
+per-column spectral shifts, sharing the operator application across columns —
+the paper's key trick for exploiting the high-arithmetic-intensity FE cell
+level linear algebra in the adjoint solve.  The per-column Lanczos/Givens
+scalars of the standard MINRES recurrence simply become length-B vectors.
+
+Each shifted system is singular (eps_j is an eigenvalue of H); the solve is
+restricted to the orthogonal complement of the corresponding eigenvector by
+a per-column projection applied to every operator output, and the
+preconditioner is the inverse diagonal of the discrete Laplacian — the
+"inexpensive yet effective" choice the paper reports gives ~5x fewer
+iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BlockMinresResult", "block_minres"]
+
+
+@dataclass
+class BlockMinresResult:
+    x: np.ndarray  #: (n, B) solutions
+    iterations: int
+    residuals: np.ndarray  #: (B,) final relative residual estimates
+    converged: bool
+
+
+def block_minres(
+    apply_A,
+    B: np.ndarray,
+    shifts: np.ndarray,
+    precond_diag: np.ndarray | None = None,
+    project=None,
+    tol: float = 1e-8,
+    maxiter: int = 500,
+) -> BlockMinresResult:
+    """Run block MINRES on ``(A - shifts_j) x_j = B[:, j]``.
+
+    Parameters
+    ----------
+    apply_A:
+        Callable applying the (Hermitian) operator to an (n, B) block.
+    shifts:
+        (B,) per-column shifts.
+    precond_diag:
+        Positive diagonal of an SPD preconditioner M; the solve uses
+        ``M^{-1} = 1/precond_diag``.
+    project:
+        Optional callable enforcing per-column orthogonality constraints,
+        applied to the RHS and to every new Krylov vector.
+    """
+    Bmat = np.atleast_2d(B)
+    n, m = Bmat.shape
+    shifts = np.asarray(shifts, dtype=float).reshape(m)
+    inv_m = (
+        np.ones(n) if precond_diag is None else 1.0 / np.asarray(precond_diag)
+    )
+
+    def dots(u, v):
+        return np.real(np.einsum("ij,ij->j", np.conj(u), v))
+
+    x = np.zeros_like(Bmat)
+    r1 = Bmat.copy()
+    if project is not None:
+        r1 = project(r1)
+    y = inv_m[:, None] * r1
+    beta1 = dots(r1, y)
+    if np.any(beta1 < 0):
+        raise ValueError("preconditioner is not positive definite")
+    live = beta1 > 1e-300
+    beta1 = np.sqrt(np.where(live, beta1, 1.0))
+
+    oldb = np.zeros(m)
+    beta = beta1.copy()
+    dbar = np.zeros(m)
+    epsln = np.zeros(m)
+    phibar = beta1.copy()
+    cs = -np.ones(m)
+    sn = np.zeros(m)
+    w = np.zeros_like(Bmat)
+    w2 = np.zeros_like(Bmat)
+    r2 = r1.copy()
+    it = 0
+    for it in range(1, maxiter + 1):
+        s = 1.0 / beta
+        v = y * s[None, :]
+        y = apply_A(v) - shifts[None, :] * v
+        if project is not None:
+            y = project(y)
+        if it >= 2:
+            y -= (beta / oldb)[None, :] * r1
+        alfa = dots(v, y)
+        y -= (alfa / beta)[None, :] * r2
+        r1 = r2
+        r2 = y
+        y = inv_m[:, None] * r2
+        oldb = beta.copy()
+        beta2 = dots(r2, y)
+        beta2 = np.where(beta2 > 0, beta2, 1e-300)
+        beta = np.sqrt(beta2)
+
+        oldeps = epsln.copy()
+        delta = cs * dbar + sn * alfa
+        gbar = sn * dbar - cs * alfa
+        epsln = sn * beta
+        dbar = -cs * beta
+        gamma = np.sqrt(gbar**2 + beta**2)
+        gamma = np.maximum(gamma, 1e-300)
+        cs = gbar / gamma
+        sn = beta / gamma
+        phi = cs * phibar
+        phibar = sn * phibar
+
+        w1 = w2
+        w2 = w
+        w = (v - oldeps[None, :] * w1 - delta[None, :] * w2) / gamma[None, :]
+        x = x + phi[None, :] * w
+        rel = phibar / beta1
+        if np.all(rel[live] <= tol):
+            break
+    if project is not None:
+        x = project(x)
+    rel = phibar / beta1
+    return BlockMinresResult(
+        x=x, iterations=it, residuals=np.where(live, rel, 0.0),
+        converged=bool(np.all(rel[live] <= tol)),
+    )

@@ -1,0 +1,63 @@
+"""Crystal lattices: HCP magnesium cells and supercell generation.
+
+The Mg-Y systems of the paper are hexagonal-close-packed magnesium with
+dilute yttrium.  For orthorhombic simulation cells (required by the
+spectral-element mesh) the 4-atom orthorhombic representation of HCP is
+used: lattice vectors (a, sqrt(3) a, c).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.atoms.pseudo import AtomicConfiguration
+
+__all__ = ["MG_A", "MG_C", "hcp_orthorhombic", "supercell"]
+
+#: Mg lattice parameters (Bohr): a = 3.21 Angstrom, c/a = 1.624
+MG_A = 6.0665
+MG_C = 9.8520
+
+
+def hcp_orthorhombic(
+    a: float = MG_A, c: float = MG_C, symbol: str = "Mg"
+) -> tuple[np.ndarray, list[str], np.ndarray]:
+    """4-atom orthorhombic HCP cell: (lattice, symbols, fractional positions).
+
+    Lattice vectors: ``(a, 0, 0), (0, sqrt(3) a, 0), (0, 0, c)``.
+    """
+    lattice = np.diag([a, np.sqrt(3.0) * a, c])
+    frac = np.array(
+        [
+            [0.0, 0.0, 0.0],
+            [0.5, 0.5, 0.0],
+            [0.5, 5.0 / 6.0, 0.5],
+            [0.0, 1.0 / 3.0, 0.5],
+        ]
+    )
+    return lattice, [symbol] * 4, frac
+
+
+def supercell(
+    lattice: np.ndarray,
+    symbols: list[str],
+    frac: np.ndarray,
+    reps: tuple[int, int, int],
+    pbc: tuple[bool, bool, bool] = (True, True, True),
+) -> AtomicConfiguration:
+    """Replicate a (lattice, basis) ``reps`` times along each axis."""
+    reps = tuple(int(r) for r in reps)
+    if min(reps) < 1:
+        raise ValueError("repetitions must be positive")
+    lattice = np.asarray(lattice, dtype=float)
+    shifts = np.stack(
+        np.meshgrid(*[np.arange(r) for r in reps], indexing="ij"), axis=-1
+    ).reshape(-1, 3)
+    frac_all = (frac[None, :, :] + shifts[:, None, :]).reshape(-1, 3)
+    frac_all /= np.asarray(reps, dtype=float)
+    big_lattice = lattice * np.asarray(reps, dtype=float)[:, None]
+    cart = frac_all @ big_lattice
+    symbols_all = list(symbols) * len(shifts)
+    return AtomicConfiguration(
+        symbols=symbols_all, positions=cart, lattice=big_lattice, pbc=pbc
+    )

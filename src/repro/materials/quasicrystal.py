@@ -1,0 +1,186 @@
+"""Icosahedral quasicrystal generation by 6D cut-and-project.
+
+The YbCd quasicrystal of the paper (Tsai-type icosahedral YbCd_5.7, Takakura
+et al. [10]) is aperiodic but long-range ordered.  The canonical construction
+projects the 6D hypercubic lattice Z^6 through two orthogonal 3D subspaces:
+the *parallel* (physical) space E_par and the *perpendicular* space E_perp.
+A 6D lattice point contributes a physical atom at its E_par projection iff
+its E_perp projection falls inside the acceptance window.
+
+The projection uses the icosahedral basis: the six 6D unit vectors map to
+six 5-fold axes of the icosahedron, giving matrices whose entries involve
+the golden ratio tau.  Rows of [E_par; E_perp] form an orthogonal 6x6
+matrix (verified in the tests) and the physical point set has no
+translational symmetry but a tau^3 inflation self-similarity.
+
+Binary Yb/Cd decoration: Tsai-type clusters place Yb on an inner
+icosahedral shell.  Here the chemical identity is assigned by
+perpendicular-space radius (the standard large-window/small-window
+decoration), with the split chosen to reproduce the paper's Yb295Cd1648
+stoichiometry for the 1,943-atom nanoparticle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.atoms.pseudo import AtomicConfiguration
+
+__all__ = [
+    "TAU",
+    "icosahedral_projectors",
+    "cut_and_project",
+    "ybcd_nanoparticle",
+]
+
+TAU = (1.0 + np.sqrt(5.0)) / 2.0  #: golden ratio
+
+
+def icosahedral_projectors() -> tuple[np.ndarray, np.ndarray]:
+    """Orthonormal parallel/perpendicular projection matrices (3 x 6 each).
+
+    Column ``i`` of ``E_par`` is the normalized i-th 5-fold icosahedral axis
+    ``v_i`` (vertex vectors ``(pm 1, tau, 0)`` and cyclic permutations)
+    scaled by ``1/sqrt(2)``; the perpendicular companion replaces
+    ``tau -> -1/tau``.  Using ``v_i . v_j = pm tau`` and
+    ``w_i . w_j = mp 1/tau`` one checks the stacked 6x6 matrix is exactly
+    orthogonal: ``E_par^T E_par + E_perp^T E_perp = I_6`` (tested).
+    """
+    v = np.array(
+        [
+            [1.0, TAU, 0.0],
+            [-1.0, TAU, 0.0],
+            [0.0, 1.0, TAU],
+            [0.0, -1.0, TAU],
+            [TAU, 0.0, 1.0],
+            [-TAU, 0.0, 1.0],
+        ]
+    )
+    w = np.array(
+        [
+            [1.0, -1.0 / TAU, 0.0],
+            [-1.0, -1.0 / TAU, 0.0],
+            [0.0, 1.0, -1.0 / TAU],
+            [0.0, -1.0, -1.0 / TAU],
+            [-1.0 / TAU, 0.0, 1.0],
+            [1.0 / TAU, 0.0, 1.0],
+        ]
+    )
+    v /= np.linalg.norm(v, axis=1, keepdims=True)
+    w /= np.linalg.norm(w, axis=1, keepdims=True)
+    e_par = v.T / np.sqrt(2.0)
+    e_perp = w.T / np.sqrt(2.0)
+    return e_par, e_perp
+
+
+def cut_and_project(
+    radius_par: float,
+    window_perp: float,
+    scale: float = 1.0,
+    max_index: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Project Z^6 points into physical space.
+
+    Returns (positions_par, norms_perp) for all 6D lattice points whose
+    perpendicular projection lies within ``window_perp`` and whose physical
+    projection lies within ``radius_par`` of the origin.  ``scale`` sets the
+    physical lattice constant (Bohr per 6D unit).
+    """
+    e_par, e_perp = icosahedral_projectors()
+    if max_index is None:
+        max_index = int(np.ceil(radius_par / scale * 0.75)) + 2
+    rng = np.arange(-max_index, max_index + 1)
+    # enumerate 6D lattice points in blocks over the leading three indices
+    grids = np.meshgrid(rng, rng, rng, indexing="ij")
+    first3 = np.stack([g.ravel() for g in grids], axis=1).astype(float)
+    f3_perp = first3 @ e_perp[:, :3].T
+    f3_par = first3 @ e_par[:, :3].T
+    out_pos = []
+    out_perp = []
+    w2 = window_perp**2
+    r2 = (radius_par / scale) ** 2
+    for tail in first3:  # the trailing three indices range identically
+        t_perp = tail @ e_perp[:, 3:].T
+        t_par = tail @ e_par[:, 3:].T
+        d = f3_perp + t_perp
+        pn = np.einsum("ij,ij->i", d, d)
+        keep = pn <= w2
+        if not keep.any():
+            continue
+        par = f3_par[keep] + t_par
+        rp = np.einsum("ij,ij->i", par, par)
+        inside = rp <= r2
+        if inside.any():
+            out_pos.append(par[inside] * scale)
+            out_perp.append(np.sqrt(pn[keep][inside]))
+    if not out_pos:
+        return np.zeros((0, 3)), np.zeros(0)
+    pos = np.concatenate(out_pos, axis=0)
+    perp = np.concatenate(out_perp)
+    # deduplicate projected points (distinct 6D points can coincide in E_par
+    # only at numerical tolerance; keep unique physical sites)
+    order = np.lexsort(pos.T)
+    pos, perp = pos[order], perp[order]
+    keep = np.ones(len(pos), dtype=bool)
+    if len(pos) > 1:
+        d = np.linalg.norm(np.diff(pos, axis=0), axis=1)
+        keep[1:] = d > 1e-8
+    return pos[keep], perp[keep]
+
+
+@dataclass
+class Nanoparticle:
+    """A carved quasicrystal nanoparticle."""
+
+    config: AtomicConfiguration
+    perp_norms: np.ndarray
+
+    @property
+    def natoms(self) -> int:
+        return self.config.natoms
+
+
+def ybcd_nanoparticle(
+    natoms: int = 1943,
+    n_yb: int = 295,
+    scale: float = 7.6,
+    window_perp: float = 0.55,
+    seed_radius: float | None = None,
+) -> Nanoparticle:
+    """Carve an icosahedral YbCd nanoparticle with exact stoichiometry.
+
+    The ``natoms`` accepted sites closest to the particle center are kept
+    (paper: 1,943 atoms, ~3 nm across at the YbCd_5.7 density); the ``n_yb``
+    sites with the smallest perpendicular-space norm become Yb (inner-window
+    decoration), the rest Cd — reproducing Yb295Cd1648 with 40,040 valence
+    electrons.
+
+    The default ``scale`` preserves physical interatomic distances
+    (min Cd-Cd contact ~2.9 Angstrom); the resulting particle is
+    geometrically larger (~7 nm) than the paper's ~3 nm because the raw
+    cut-and-project point set is sparser than the fully decorated Tsai
+    cluster structure (documented substitution).
+    """
+    if seed_radius is None:
+        # generous physical radius; grows automatically if too few sites
+        seed_radius = scale * (natoms ** (1.0 / 3.0)) * 0.62
+    radius = seed_radius
+    for _ in range(6):
+        pos, perp = cut_and_project(radius, window_perp, scale=scale)
+        if len(pos) >= natoms:
+            break
+        radius *= 1.25
+    if len(pos) < natoms:
+        raise RuntimeError(
+            f"cut-and-project produced only {len(pos)} sites (< {natoms})"
+        )
+    r = np.linalg.norm(pos, axis=1)
+    order = np.argsort(r, kind="stable")[:natoms]
+    pos, perp = pos[order], perp[order]
+    yb_idx = set(np.argsort(perp, kind="stable")[:n_yb].tolist())
+    symbols = ["Yb" if i in yb_idx else "Cd" for i in range(natoms)]
+    pos = pos - pos.mean(axis=0)
+    config = AtomicConfiguration(symbols=symbols, positions=pos)
+    return Nanoparticle(config=config, perp_norms=perp)

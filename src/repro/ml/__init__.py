@@ -1,0 +1,25 @@
+"""Machine-learning substrate: NumPy MLP, descriptors, MLXC training."""
+
+from .descriptors import (
+    descriptors_from_spin_density,
+    feature_map,
+    phi_spin_factor,
+    reduced_gradient,
+)
+from .nn import MLP, Adam, elu, elu_prime
+from .training import MLXCLaplacianTrainer, MLXCTrainer, TrainingSample, assemble_sample
+
+__all__ = [
+    "MLP",
+    "MLXCLaplacianTrainer",
+    "MLXCTrainer",
+    "TrainingSample",
+    "Adam",
+    "descriptors_from_spin_density",
+    "elu",
+    "elu_prime",
+    "feature_map",
+    "assemble_sample",
+    "phi_spin_factor",
+    "reduced_gradient",
+]

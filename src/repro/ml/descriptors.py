@@ -1,0 +1,62 @@
+"""MLXC input descriptors (paper Eq. 3): rho, xi, s.
+
+* total density ``rho = rho_up + rho_dn``
+* relative spin polarization ``xi = (rho_up - rho_dn) / rho``
+* reduced density gradient
+  ``s = (3 pi^2)^(1/3) |grad rho| / (2 rho^(4/3))``
+
+plus the spin-scaling prefactor
+``phi = ((1+xi)^(4/3) + (1-xi)^(4/3)) / 2``.
+
+All functions are dtype-agnostic (complex-step safe) and floor the density
+to avoid vacuum singularities; for feeding the DNN, bounded transforms
+``rho^(1/3)`` and ``s/(1+s)`` are used (a monotone reparametrization of the
+same physical inputs — the functional dependence of Eq. 3 is unchanged).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import RHO_FLOOR
+
+__all__ = [
+    "descriptors_from_spin_density",
+    "phi_spin_factor",
+    "reduced_gradient",
+    "feature_map",
+]
+
+_S_PREF = (3.0 * np.pi**2) ** (1.0 / 3.0)
+
+
+def reduced_gradient(rho, sigma_total):
+    """Dimensionless s from rho and sigma = |grad rho|^2."""
+    rho_s = np.where(np.real(rho) > RHO_FLOOR, rho, RHO_FLOOR)
+    grad = np.sqrt(np.where(np.real(sigma_total) > 0, sigma_total, 0.0) + 1e-300)
+    return _S_PREF * grad / (2.0 * rho_s ** (4.0 / 3.0))
+
+
+def phi_spin_factor(xi):
+    """phi(xi) = ((1+xi)^(4/3) + (1-xi)^(4/3)) / 2."""
+    return 0.5 * ((1.0 + xi) ** (4.0 / 3.0) + (1.0 - xi) ** (4.0 / 3.0))
+
+
+def descriptors_from_spin_density(rho_up, rho_dn, sigma_uu, sigma_ud, sigma_dd):
+    """Return (rho, xi, s) fields from spin densities and contractions."""
+    rho = rho_up + rho_dn
+    rho_s = np.where(np.real(rho) > RHO_FLOOR, rho, RHO_FLOOR)
+    xi = (rho_up - rho_dn) / rho_s
+    sigma_tot = sigma_uu + 2.0 * sigma_ud + sigma_dd
+    s = reduced_gradient(rho_s, sigma_tot)
+    return rho, xi, s
+
+
+def feature_map(rho, xi, s):
+    """Bounded DNN features: [rho^(1/3), xi, s/(1+s)], stacked (n, 3)."""
+    rho_s = np.where(np.real(rho) > RHO_FLOOR, rho, RHO_FLOOR)
+    f1 = rho_s ** (1.0 / 3.0)
+    f3 = s / (1.0 + s)
+    return np.stack(
+        [np.asarray(f1), np.asarray(xi), np.asarray(f3)], axis=-1
+    )

@@ -1,0 +1,34 @@
+"""Quantum many-body substrate: FCI over finite-element orbital bases."""
+
+from .coupled_cluster import (
+    CCDResult,
+    RHFResult,
+    ccd,
+    ccsd,
+    mp2_energy,
+    restricted_hartree_fock,
+)
+from .fci import FCIResult, FCISolver, density_from_rdm
+from .fock import creation_operator, fock_space_ground_state
+from .integrals import OrbitalIntegrals, compute_integrals
+from .slater import determinants, excitation_sign, excite, occ_list
+
+__all__ = [
+    "CCDResult",
+    "FCIResult",
+    "FCISolver",
+    "OrbitalIntegrals",
+    "RHFResult",
+    "ccd",
+    "ccsd",
+    "compute_integrals",
+    "creation_operator",
+    "density_from_rdm",
+    "determinants",
+    "excitation_sign",
+    "excite",
+    "fock_space_ground_state",
+    "mp2_energy",
+    "occ_list",
+    "restricted_hartree_fock",
+]

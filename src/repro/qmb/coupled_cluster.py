@@ -1,0 +1,314 @@
+"""Hartree-Fock, MP2 and CCD over the finite-element orbital basis.
+
+The paper's Level-4 taxonomy (Fig 1, Table 1) includes coupled-cluster
+methods alongside CI and QMC; this module provides the CC side of that
+ladder in the model world, sharing the :class:`~repro.qmb.integrals.
+OrbitalIntegrals` with the FCI solver:
+
+* **RHF**: Roothaan SCF *within* the orthonormal orbital basis (the basis
+  itself comes from a Kohn-Sham solve), giving the canonical reference
+  determinant and the Brillouin-satisfying Fock operator;
+* **MP2**: second-order Møller-Plesset correlation energy;
+* **CCD**: coupled-cluster doubles with the full spin-orbital residual,
+  solved by damped amplitude iteration.
+
+Validation anchors used by the tests: for two-electron systems CCD agrees
+with FCI to well under a millihartree (only the Brillouin-suppressed
+singles are missing), and the ladder
+``E_HF > E_MP2 > E_CCD >= E_FCI`` orders correctly for weakly correlated
+systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .integrals import OrbitalIntegrals
+
+__all__ = ["RHFResult", "restricted_hartree_fock", "mp2_energy", "CCDResult", "ccd", "ccsd"]
+
+
+@dataclass
+class RHFResult:
+    """Restricted Hartree-Fock solution within the orbital basis."""
+
+    energy: float  #: total HF energy (incl. nuclear repulsion)
+    orbital_energies: np.ndarray  #: canonical eigenvalues
+    coefficients: np.ndarray  #: (n_basis, n_basis) MO coefficients
+    n_occ: int
+    converged: bool
+    iterations: int
+
+
+def restricted_hartree_fock(
+    ints: OrbitalIntegrals,
+    n_electrons: int,
+    tol: float = 1e-10,
+    max_iterations: int = 200,
+    damping: float = 0.3,
+) -> RHFResult:
+    """Roothaan SCF in an orthonormal basis (closed shell).
+
+    ``n_electrons`` must be even; the density matrix is damped for
+    robustness on small stretched systems.
+    """
+    if n_electrons % 2 != 0:
+        raise ValueError("restricted HF needs an even electron count")
+    n_occ = n_electrons // 2
+    h, eri = ints.h, ints.eri
+    n = ints.n_orb
+    # core guess
+    evals, C = np.linalg.eigh(h)
+    D = 2.0 * C[:, :n_occ] @ C[:, :n_occ].T
+    e_prev = np.inf
+    converged = False
+    it = 0
+    for it in range(1, max_iterations + 1):
+        J = np.einsum("pqrs,rs->pq", eri, D)
+        K = np.einsum("prqs,rs->pq", eri, D)
+        F = h + J - 0.5 * K
+        e_elec = 0.5 * float(np.sum(D * (h + F)))
+        evals, C = np.linalg.eigh(F)
+        D_new = 2.0 * C[:, :n_occ] @ C[:, :n_occ].T
+        D = (1 - damping) * D_new + damping * D
+        if abs(e_elec - e_prev) < tol:
+            converged = True
+            break
+        e_prev = e_elec
+    return RHFResult(
+        energy=e_elec + ints.e_core,
+        orbital_energies=evals,
+        coefficients=C,
+        n_occ=n_occ,
+        converged=converged,
+        iterations=it,
+    )
+
+
+def _spin_orbital_tensors(ints: OrbitalIntegrals, hf: RHFResult):
+    """Antisymmetrized spin-orbital integrals in the canonical MO basis.
+
+    Returns (fock_diag, <pq||rs>, n_occ_so) with spin orbitals ordered as
+    (mo0 up, mo0 dn, mo1 up, ...), occupied first within each spatial MO.
+    """
+    C = hf.coefficients
+    n = ints.n_orb
+    # chemist (pq|rs) -> MO basis
+    eri_mo = np.einsum(
+        "pqrs,pi,qj,rk,sl->ijkl", ints.eri, C, C, C, C, optimize=True
+    )
+    nso = 2 * n
+    # physicist <pq|rs> = (pr|qs); spin factors via parity of the SO index
+    so_spatial = np.repeat(np.arange(n), 2)
+    so_spin = np.tile([0, 1], n)
+    p, q, r, s = np.ix_(range(nso), range(nso), range(nso), range(nso))
+    coul = eri_mo[so_spatial[p], so_spatial[r], so_spatial[q], so_spatial[s]] * (
+        (so_spin[p] == so_spin[r]) & (so_spin[q] == so_spin[s])
+    )
+    exch = eri_mo[so_spatial[p], so_spatial[s], so_spatial[q], so_spatial[r]] * (
+        (so_spin[p] == so_spin[s]) & (so_spin[q] == so_spin[r])
+    )
+    asym = coul - exch  # <pq||rs>
+    fock_diag = np.repeat(hf.orbital_energies, 2)
+    return fock_diag, asym, 2 * hf.n_occ
+
+
+def mp2_energy(ints: OrbitalIntegrals, hf: RHFResult) -> float:
+    """MP2 correlation energy on the canonical HF reference."""
+    f, asym, no = _spin_orbital_tensors(ints, hf)
+    nso = f.size
+    o, v = slice(0, no), slice(no, nso)
+    denom = (
+        f[o, None, None, None] + f[None, o, None, None]
+        - f[None, None, v, None] - f[None, None, None, v]
+    )
+    oovv = asym[o, o, v, v]
+    return 0.25 * float(np.sum(oovv**2 / denom))
+
+
+@dataclass
+class CCDResult:
+    """Coupled-cluster doubles solution."""
+
+    energy: float  #: total CCD energy (HF + correlation + E_nn)
+    correlation: float
+    iterations: int
+    converged: bool
+
+
+def ccd(
+    ints: OrbitalIntegrals,
+    hf: RHFResult,
+    tol: float = 1e-9,
+    max_iterations: int = 200,
+    damping: float = 0.2,
+) -> CCDResult:
+    """Spin-orbital CCD with the full doubles residual.
+
+    Standard equations (e.g. Shavitt & Bartlett Eq. 9.126 for T2-only):
+
+        R_ij^ab = <ij||ab> + P(ab) sum_c f_bc-like terms (vanish for
+        canonical orbitals) + 1/2 <ab||cd> t_ij^cd + 1/2 <kl||ij> t_kl^ab
+        + P(ij)P(ab) <kb||cj> t_ik^ac
+        + 1/4 <kl||cd> t_ij^cd t_kl^ab
+        + P(ij) <kl||cd> t_ik^ac t_jl^bd
+        - 1/2 P(ij) <kl||cd> t_ik^dc t_jl^ab  (and the ab mirror)
+    """
+    f, asym, no = _spin_orbital_tensors(ints, hf)
+    nso = f.size
+    nv = nso - no
+    o, v = slice(0, no), slice(no, nso)
+    oovv = asym[o, o, v, v]
+    denom = (
+        f[o, None, None, None] + f[None, o, None, None]
+        - f[None, None, v, None] - f[None, None, None, v]
+    )
+    t = oovv / denom  # MP2 start
+    vvvv = asym[v, v, v, v]
+    oooo = asym[o, o, o, o]
+    ovvo = asym[o, v, v, o]
+    e_corr = 0.25 * float(np.sum(oovv * t))
+    converged = False
+    it = 0
+    for it in range(1, max_iterations + 1):
+        # intermediates
+        tau = t
+        R = oovv.copy()
+        R += 0.5 * np.einsum("abcd,ijcd->ijab", vvvv, tau, optimize=True)
+        R += 0.5 * np.einsum("klij,klab->ijab", oooo, tau, optimize=True)
+        tmp = np.einsum("kbcj,ikac->ijab", ovvo, t, optimize=True)
+        R += tmp - tmp.transpose(1, 0, 2, 3) - tmp.transpose(0, 1, 3, 2) + tmp.transpose(1, 0, 3, 2)
+        # quadratic terms
+        w = oovv  # <kl||cd>
+        R += 0.25 * np.einsum("klcd,ijcd,klab->ijab", w, tau, tau, optimize=True)
+        tmp = np.einsum("klcd,ikac,jlbd->ijab", w, t, t, optimize=True)
+        R += 0.5 * (tmp - tmp.transpose(1, 0, 2, 3))
+        tmp = np.einsum("klcd,ikdc,ljab->ijab", w, t, t, optimize=True)
+        R -= 0.5 * (tmp - tmp.transpose(1, 0, 2, 3))
+        tmp = np.einsum("klcd,lkac,ijdb->ijab", w, t, t, optimize=True)
+        R -= 0.5 * (tmp - tmp.transpose(0, 1, 3, 2))
+        t_new = R / denom
+        t = (1 - damping) * t_new + damping * t
+        e_new = 0.25 * float(np.sum(oovv * t))
+        if abs(e_new - e_corr) < tol:
+            e_corr = e_new
+            converged = True
+            break
+        e_corr = e_new
+    return CCDResult(
+        energy=hf.energy + e_corr,
+        correlation=e_corr,
+        iterations=it,
+        converged=converged,
+    )
+
+
+def ccsd(
+    ints: OrbitalIntegrals,
+    hf: RHFResult,
+    tol: float = 1e-10,
+    max_iterations: int = 300,
+    damping: float = 0.2,
+) -> CCDResult:
+    """Spin-orbital CCSD (Stanton et al. intermediates).
+
+    The decisive validation anchor: for two-electron systems CCSD is exact
+    within the orbital basis, so its energy must match FCI to solver
+    tolerance (tested).
+    """
+    fdiag, w, no = _spin_orbital_tensors(ints, hf)
+    nso = fdiag.size
+    nv = nso - no
+    o, v = slice(0, no), slice(no, nso)
+    eps_o, eps_v = fdiag[o], fdiag[v]
+    D1 = eps_o[:, None] - eps_v[None, :]
+    D2 = (
+        eps_o[:, None, None, None] + eps_o[None, :, None, None]
+        - eps_v[None, None, :, None] - eps_v[None, None, None, :]
+    )
+    oovv = w[o, o, v, v]
+    t1 = np.zeros((no, nv))
+    t2 = oovv / D2
+
+    def energy(t1, t2):
+        e = 0.25 * np.einsum("ijab,ijab->", oovv, t2)
+        e += 0.5 * np.einsum("ijab,ia,jb->", oovv, t1, t1)
+        return float(e)
+
+    e_corr = energy(t1, t2)
+    converged = False
+    it = 0
+    for it in range(1, max_iterations + 1):
+        taut = t2 + 0.5 * (
+            np.einsum("ia,jb->ijab", t1, t1) - np.einsum("ib,ja->ijab", t1, t1)
+        )
+        tau = t2 + (
+            np.einsum("ia,jb->ijab", t1, t1) - np.einsum("ib,ja->ijab", t1, t1)
+        )
+        # one-particle intermediates (canonical orbitals: f offdiag = 0)
+        Fae = np.einsum("mf,mafe->ae", t1, w[o, v, v, v])
+        Fae -= 0.5 * np.einsum("mnaf,mnef->ae", taut, oovv)
+        Fmi = np.einsum("ne,mnie->mi", t1, w[o, o, o, v])
+        Fmi += 0.5 * np.einsum("inef,mnef->mi", taut, oovv)
+        Fme = np.einsum("nf,mnef->me", t1, oovv)
+        # two-particle intermediates
+        Wmnij = w[o, o, o, o].copy()
+        tmp = np.einsum("je,mnie->mnij", t1, w[o, o, o, v])
+        Wmnij += tmp - tmp.transpose(0, 1, 3, 2)
+        Wmnij += 0.25 * np.einsum("ijef,mnef->mnij", tau, oovv)
+        Wabef = w[v, v, v, v].copy()
+        tmp = np.einsum("mb,amef->abef", t1, w[v, o, v, v])
+        Wabef -= tmp - tmp.transpose(1, 0, 2, 3)
+        Wabef += 0.25 * np.einsum("mnab,mnef->abef", tau, oovv)
+        Wmbej = w[o, v, v, o].copy()
+        Wmbej += np.einsum("jf,mbef->mbej", t1, w[o, v, v, v])
+        Wmbej -= np.einsum("nb,mnej->mbej", t1, w[o, o, v, o])
+        Wmbej -= np.einsum(
+            "jnfb,mnef->mbej", 0.5 * t2 + np.einsum("jf,nb->jnfb", t1, t1), oovv
+        )
+        # T1 residual
+        r1 = np.einsum("ie,ae->ia", t1, Fae)
+        r1 -= np.einsum("ma,mi->ia", t1, Fmi)
+        r1 += np.einsum("imae,me->ia", t2, Fme)
+        r1 -= np.einsum("nf,naif->ia", t1, w[o, v, o, v])
+        r1 -= 0.5 * np.einsum("imef,maef->ia", t2, w[o, v, v, v])
+        r1 -= 0.5 * np.einsum("mnae,nmei->ia", t2, w[o, o, v, o])
+        t1_new = r1 / D1
+        # T2 residual
+        r2 = oovv.copy()
+        ftmp = Fae - 0.5 * np.einsum("mb,me->be", t1, Fme)
+        tmp = np.einsum("ijae,be->ijab", t2, ftmp)
+        r2 += tmp - tmp.transpose(0, 1, 3, 2)
+        ftmp = Fmi + 0.5 * np.einsum("je,me->mj", t1, Fme)
+        tmp = np.einsum("imab,mj->ijab", t2, ftmp)
+        r2 -= tmp - tmp.transpose(1, 0, 2, 3)
+        r2 += 0.5 * np.einsum("mnab,mnij->ijab", tau, Wmnij)
+        r2 += 0.5 * np.einsum("ijef,abef->ijab", tau, Wabef)
+        tmp = np.einsum("imae,mbej->ijab", t2, Wmbej)
+        tmp -= np.einsum("ie,ma,mbej->ijab", t1, t1, w[o, v, v, o])
+        r2 += (
+            tmp - tmp.transpose(1, 0, 2, 3) - tmp.transpose(0, 1, 3, 2)
+            + tmp.transpose(1, 0, 3, 2)
+        )
+        tmp = np.einsum("ie,abej->ijab", t1, w[v, v, v, o])
+        r2 += tmp - tmp.transpose(1, 0, 2, 3)
+        tmp = np.einsum("ma,mbij->ijab", t1, w[o, v, o, o])
+        r2 -= tmp - tmp.transpose(0, 1, 3, 2)
+        t2_new = r2 / D2
+
+        t1 = (1 - damping) * t1_new + damping * t1
+        t2 = (1 - damping) * t2_new + damping * t2
+        e_new = energy(t1, t2)
+        if abs(e_new - e_corr) < tol:
+            e_corr = e_new
+            converged = True
+            break
+        e_corr = e_new
+    return CCDResult(
+        energy=hf.energy + e_corr,
+        correlation=e_corr,
+        iterations=it,
+        converged=converged,
+    )

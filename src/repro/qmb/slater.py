@@ -1,0 +1,118 @@
+"""Slater determinant machinery: bitstring determinants and Slater-Condon.
+
+Determinants are integers whose set bits are the occupied *spatial* orbitals
+of one spin channel; a full determinant is an (alpha_bits, beta_bits) pair.
+The Slater-Condon rules give Hamiltonian matrix elements between
+determinants differing by at most a double excitation; fermionic signs come
+from counting occupied orbitals between the excitation endpoints.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+__all__ = [
+    "determinants",
+    "occ_list",
+    "excitation_sign",
+    "excite",
+    "diagonal_element",
+    "single_element",
+    "double_same_spin_element",
+    "double_opposite_spin_element",
+]
+
+
+def determinants(n_orb: int, n_elec: int) -> list[int]:
+    """All bitstring determinants of ``n_elec`` electrons in ``n_orb`` orbitals."""
+    if not 0 <= n_elec <= n_orb:
+        raise ValueError("invalid electron count")
+    out = []
+    for occ in combinations(range(n_orb), n_elec):
+        bits = 0
+        for p in occ:
+            bits |= 1 << p
+        out.append(bits)
+    return out
+
+
+def occ_list(bits: int) -> list[int]:
+    """Occupied orbital indices of a bitstring, ascending."""
+    out = []
+    p = 0
+    while bits:
+        if bits & 1:
+            out.append(p)
+        bits >>= 1
+        p += 1
+    return out
+
+
+def excitation_sign(bits: int, p: int, r: int) -> int:
+    """Fermionic sign of a_r^dag a_p |bits> (p occupied, r empty, p != r)."""
+    lo, hi = (p, r) if p < r else (r, p)
+    mask = ((1 << hi) - 1) & ~((1 << (lo + 1)) - 1)
+    return -1 if bin(bits & mask).count("1") % 2 else 1
+
+
+def excite(bits: int, p: int, r: int) -> tuple[int, int]:
+    """Apply p -> r; returns (new_bits, sign)."""
+    sign = excitation_sign(bits, p, r)
+    return (bits & ~(1 << p)) | (1 << r), sign
+
+
+def diagonal_element(
+    abits: int, bbits: int, h: np.ndarray, eri: np.ndarray
+) -> float:
+    """<D|H|D> for spatial integrals h, (pq|rs) chemists' notation."""
+    occ_a = occ_list(abits)
+    occ_b = occ_list(bbits)
+    e = sum(h[p, p] for p in occ_a) + sum(h[p, p] for p in occ_b)
+    for i, p in enumerate(occ_a):
+        for q in occ_a[i + 1 :]:
+            e += eri[p, p, q, q] - eri[p, q, q, p]
+    for i, p in enumerate(occ_b):
+        for q in occ_b[i + 1 :]:
+            e += eri[p, p, q, q] - eri[p, q, q, p]
+    for p in occ_a:
+        for q in occ_b:
+            e += eri[p, p, q, q]
+    return float(e)
+
+
+def single_element(
+    bits_same: int,
+    occ_other: list[int],
+    p: int,
+    r: int,
+    h: np.ndarray,
+    eri: np.ndarray,
+) -> float:
+    """<D'|H|D> for a single excitation p->r in one spin channel (no sign).
+
+    ``bits_same`` is the original bitstring of the excited channel;
+    ``occ_other`` the occupied list of the other spin channel.
+    """
+    occ_same = occ_list(bits_same)
+    val = h[p, r]
+    for q in occ_same:
+        if q == p:
+            continue
+        val += eri[p, r, q, q] - eri[p, q, q, r]
+    for q in occ_other:
+        val += eri[p, r, q, q]
+    return float(val)
+
+
+def double_same_spin_element(
+    p: int, q: int, r: int, s: int, eri: np.ndarray
+) -> float:
+    """<D'|H|D> for the same-spin double (p,q)->(r,s) (no sign): (pr|qs)-(ps|qr)."""
+    return float(eri[p, r, q, s] - eri[p, s, q, r])
+
+
+def double_opposite_spin_element(p: int, r: int, q: int, s: int, eri: np.ndarray) -> float:
+    """<D'|H|D> for alpha p->r with beta q->s (no sign): (pr|qs)."""
+    return float(eri[p, r, q, s])

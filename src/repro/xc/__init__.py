@@ -1,0 +1,20 @@
+"""Exchange-correlation functionals: LDA (L1), PBE (L2), hybrid (L3), MLXC (L4+)."""
+
+from .base import RHO_FLOOR, XCFunctional, XCOutput
+from .gga import PBE
+from .hybrid import PBE0, hf_exchange_energy
+from .lda import LDA
+from .mlxc import MLXC
+from .mlxc_laplacian import MLXCLaplacian
+
+__all__ = [
+    "LDA",
+    "MLXC",
+    "MLXCLaplacian",
+    "PBE",
+    "PBE0",
+    "RHO_FLOOR",
+    "XCFunctional",
+    "XCOutput",
+    "hf_exchange_energy",
+]

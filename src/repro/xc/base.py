@@ -1,0 +1,133 @@
+"""Exchange-correlation functional interface (Levels 1-3 + MLXC).
+
+A functional implements ``exc_density`` — the XC energy per unit volume as a
+function of the spin densities and (for GGAs and MLXC) the gradient
+contractions ``sigma_ab = grad(rho_a) . grad(rho_b)`` (libxc convention).
+
+Derivatives ``vrho = d e / d rho_s`` and ``vsigma = d e / d sigma_ab`` are
+obtained by *complex-step differentiation*: for an analytic implementation,
+``f'(x) = Im f(x + i h) / h`` is exact to machine precision with
+``h ~ 1e-30`` — no subtractive cancellation, no hand-derived formulas to get
+wrong.  All functional implementations in this package are therefore written
+dtype-agnostically.  Finite-difference cross-checks live in the test suite.
+
+The nodal XC potential entering the Kohn-Sham Hamiltonian is
+
+.. math::
+
+    v_{xc}^{s} = \\partial e/\\partial\\rho_s
+        - \\nabla\\cdot\\big(2 v^{\\sigma}_{ss}\\nabla\\rho_s
+        + v^{\\sigma}_{s\\bar s}\\nabla\\rho_{\\bar s}\\big),
+
+with the divergence evaluated by the mesh's recovery operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import RHO_FLOOR
+
+_CSTEP = 1e-30
+
+__all__ = ["XCFunctional", "XCOutput", "RHO_FLOOR"]
+
+
+@dataclass
+class XCOutput:
+    """Pointwise functional evaluation on a set of grid points."""
+
+    exc: np.ndarray  #: (n,) XC energy density (energy / volume)
+    vrho: np.ndarray  #: (n, 2) d exc / d rho_s
+    vsigma: np.ndarray | None  #: (n, 3) d exc / d sigma_[uu, ud, dd], or None
+
+
+class XCFunctional:
+    """Base class for exchange-correlation functionals."""
+
+    name = "base"
+    needs_gradient = False
+    #: accuracy level in the paper's Fig. 1 taxonomy (1=LDA ... 4=QMB-like)
+    level = 0
+
+    # -- to be implemented by subclasses ---------------------------------
+    def exc_density(
+        self,
+        rho_up: np.ndarray,
+        rho_dn: np.ndarray,
+        sigma_uu: np.ndarray | None = None,
+        sigma_ud: np.ndarray | None = None,
+        sigma_dd: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """XC energy per unit volume (dtype-agnostic: supports complex)."""
+        raise NotImplementedError
+
+    # -- generic machinery -------------------------------------------------
+    def evaluate(
+        self,
+        rho_up: np.ndarray,
+        rho_dn: np.ndarray,
+        sigma_uu: np.ndarray | None = None,
+        sigma_ud: np.ndarray | None = None,
+        sigma_dd: np.ndarray | None = None,
+    ) -> XCOutput:
+        """Evaluate energy density and its derivatives at grid points."""
+        rho_up = np.maximum(np.asarray(rho_up, dtype=float), 0.0)
+        rho_dn = np.maximum(np.asarray(rho_dn, dtype=float), 0.0)
+        args = [rho_up, rho_dn]
+        if self.needs_gradient:
+            if sigma_uu is None:
+                raise ValueError(f"{self.name} requires gradient contractions")
+            if sigma_ud is None:
+                sigma_ud = np.zeros_like(sigma_uu)
+            if sigma_dd is None:
+                sigma_dd = np.zeros_like(sigma_uu)
+            args += [np.asarray(sigma_uu, float), np.asarray(sigma_ud, float),
+                     np.asarray(sigma_dd, float)]
+        exc = np.real(self.exc_density(*args))
+
+        live = (rho_up + rho_dn) > RHO_FLOOR
+        nargs = len(args)
+        derivs = []
+        for j in range(nargs):
+            pert = [a.astype(complex) if i == j else a for i, a in enumerate(args)]
+            pert[j] = pert[j] + 1j * _CSTEP
+            d = np.imag(self.exc_density(*pert)) / _CSTEP
+            d = np.where(live, d, 0.0)
+            derivs.append(d)
+        vrho = np.stack(derivs[:2], axis=-1)
+        vsigma = np.stack(derivs[2:], axis=-1) if self.needs_gradient else None
+        return XCOutput(exc=np.where(live, exc, 0.0), vrho=vrho, vsigma=vsigma)
+
+    def potential_and_energy(
+        self, mesh, rho_spin: np.ndarray
+    ) -> tuple[np.ndarray, float]:
+        """Nodal XC potential (nnodes, 2) and total XC energy on a mesh.
+
+        ``rho_spin`` is the (nnodes, 2) spin density.  GGA-type functionals
+        include the weak-divergence term via the mesh recovery operators.
+        """
+        rho_up, rho_dn = rho_spin[:, 0], rho_spin[:, 1]
+        if not self.needs_gradient:
+            out = self.evaluate(rho_up, rho_dn)
+            exc_total = float(mesh.integrate(out.exc))
+            return out.vrho, exc_total
+
+        g_up = mesh.gradient(rho_up)
+        g_dn = mesh.gradient(rho_dn)
+        s_uu = np.einsum("ij,ij->i", g_up, g_up)
+        s_ud = np.einsum("ij,ij->i", g_up, g_dn)
+        s_dd = np.einsum("ij,ij->i", g_dn, g_dn)
+        out = self.evaluate(rho_up, rho_dn, s_uu, s_ud, s_dd)
+        exc_total = float(mesh.integrate(out.exc))
+        vs = out.vsigma
+        vec_up = 2.0 * vs[:, 0:1] * g_up + vs[:, 1:2] * g_dn
+        vec_dn = 2.0 * vs[:, 2:3] * g_dn + vs[:, 1:2] * g_up
+        v_up = out.vrho[:, 0] - mesh.divergence(vec_up)
+        v_dn = out.vrho[:, 1] - mesh.divergence(vec_dn)
+        return np.stack([v_up, v_dn], axis=1), exc_total
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<XCFunctional {self.name} (level {self.level})>"

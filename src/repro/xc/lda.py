@@ -1,0 +1,70 @@
+"""Level-1 functional: local density approximation (Slater X + PW92 C).
+
+Spin-polarized throughout.  All formulas are written dtype-agnostically so
+that the complex-step derivative machinery of :class:`repro.xc.base.
+XCFunctional` yields machine-precision potentials.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import RHO_FLOOR, XCFunctional
+
+__all__ = ["LDA", "lda_exchange_energy_density", "pw92_ec"]
+
+_CX = -(3.0 / 4.0) * (3.0 / np.pi) ** (1.0 / 3.0)
+
+# PW92 parameters: (A, alpha1, beta1, beta2, beta3, beta4)
+_PW92_EC0 = (0.031091, 0.21370, 7.5957, 3.5876, 1.6382, 0.49294)
+_PW92_EC1 = (0.015545, 0.20548, 14.1189, 6.1977, 3.3662, 0.62517)
+_PW92_AC = (0.016887, 0.11125, 10.357, 3.6231, 0.88026, 0.49671)
+_FPP0 = 4.0 / (9.0 * (2.0 ** (1.0 / 3.0) - 1.0))  # f''(0)
+
+
+def _pw92_G(rs, p):
+    """The PW92 Pade form G(rs; A, a1, b1..b4)."""
+    A, a1, b1, b2, b3, b4 = p
+    srs = np.sqrt(rs)
+    q1 = 2.0 * A * (b1 * srs + b2 * rs + b3 * rs * srs + b4 * rs * rs)
+    return -2.0 * A * (1.0 + a1 * rs) * np.log(1.0 + 1.0 / q1)
+
+
+def pw92_ec(rs, zeta):
+    """PW92 correlation energy per electron, epsilon_c(rs, zeta)."""
+    ec0 = _pw92_G(rs, _PW92_EC0)
+    ec1 = _pw92_G(rs, _PW92_EC1)
+    mac = _pw92_G(rs, _PW92_AC)  # minus the spin stiffness
+    fz = ((1.0 + zeta) ** (4.0 / 3.0) + (1.0 - zeta) ** (4.0 / 3.0) - 2.0) / (
+        2.0 ** (4.0 / 3.0) - 2.0
+    )
+    z4 = zeta**4
+    return ec0 - mac * fz / _FPP0 * (1.0 - z4) + (ec1 - ec0) * fz * z4
+
+
+def lda_exchange_energy_density(rho_up, rho_dn):
+    """Slater exchange energy density via the spin-scaling relation."""
+    # E_x[up, dn] = (E_x^unpol[2 up] + E_x^unpol[2 dn]) / 2
+    e_up = 0.5 * _CX * (2.0 * rho_up) ** (4.0 / 3.0)
+    e_dn = 0.5 * _CX * (2.0 * rho_dn) ** (4.0 / 3.0)
+    return e_up + e_dn
+
+
+class LDA(XCFunctional):
+    """Slater exchange + Perdew-Wang 1992 correlation."""
+
+    name = "LDA-PW92"
+    needs_gradient = False
+    level = 1
+
+    def exc_density(self, rho_up, rho_dn, *_unused):
+        rho = rho_up + rho_dn
+        safe = np.maximum(np.real(rho), RHO_FLOOR)
+        rho_s = np.where(np.real(rho) > RHO_FLOOR, rho, RHO_FLOOR)
+        zeta = (rho_up - rho_dn) / rho_s
+        rs = (3.0 / (4.0 * np.pi * rho_s)) ** (1.0 / 3.0)
+        ex = lda_exchange_energy_density(rho_up, rho_dn)
+        ec = rho_s * pw92_ec(rs, zeta)
+        mask = np.real(rho) > RHO_FLOOR
+        del safe
+        return np.where(mask, ex + ec, 0.0)

@@ -1,0 +1,135 @@
+"""MLXC: the machine-learned exchange-correlation functional (paper Eq. 3).
+
+.. math::
+
+    e_{xc}^{ML}[\\rho](r) = \\rho^{4/3}(r)\\,\\phi(\\xi(r))\\,
+        F^{DNN}(\\rho, \\xi, s),
+
+with relative spin density ``xi``, reduced gradient ``s`` and the
+``rho^(4/3) phi`` prefactor enforcing the known coordinate- and spin-scaling
+relations; the form is translationally and rotationally equivariant by
+construction (it depends on position only through scalar fields).
+
+``F_DNN`` is a 5-layer x 80-neuron ELU network (:class:`repro.ml.nn.MLP`).
+The XC potential — including the gradient/divergence term from the
+``s``-dependence — is produced by the generic complex-step machinery of
+:class:`repro.xc.base.XCFunctional` plus the mesh recovery operators, i.e.
+``v_xc`` is obtained "inexpensively via back-propagation" exactly as the
+paper describes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.descriptors import (
+    descriptors_from_spin_density,
+    feature_map,
+    phi_spin_factor,
+)
+from repro.ml.nn import MLP
+
+from .base import RHO_FLOOR, XCFunctional
+
+__all__ = ["MLXC", "DEFAULT_LAYERS"]
+
+#: paper architecture: 3 descriptors -> 5 hidden layers x 80 neurons -> F
+DEFAULT_LAYERS = (3, 80, 80, 80, 80, 80, 1)
+
+
+class MLXC(XCFunctional):
+    """Neural XC functional at quantum-many-body-informed accuracy (Level 4+)."""
+
+    name = "MLXC"
+    needs_gradient = True
+    level = 4
+
+    def __init__(self, network: MLP | None = None, seed: int = 0) -> None:
+        self.network = network if network is not None else MLP(DEFAULT_LAYERS, seed=seed)
+        if self.network.layer_sizes[0] != 3 or self.network.layer_sizes[-1] != 1:
+            raise ValueError("MLXC network must map 3 descriptors to a scalar F")
+
+    # ------------------------------------------------------------------
+    def exc_density(self, rho_up, rho_dn, sigma_uu=None, sigma_ud=None, sigma_dd=None):
+        rho, xi, s = descriptors_from_spin_density(
+            rho_up, rho_dn, sigma_uu, sigma_ud, sigma_dd
+        )
+        rho_s = np.where(np.real(rho) > RHO_FLOOR, rho, RHO_FLOOR)
+        F = self.network.forward(feature_map(rho_s, xi, s))[:, 0]
+        e = rho_s ** (4.0 / 3.0) * phi_spin_factor(xi) * F
+        return np.where(np.real(rho) > RHO_FLOOR, e, 0.0)
+
+    # ------------------------------------------------------------------
+    def enhancement_factor(self, rho, xi, s) -> np.ndarray:
+        """Evaluate F_DNN directly on descriptor values (diagnostics)."""
+        return np.real(self.network.forward(feature_map(rho, xi, s))[:, 0])
+
+    def save(self, path: str) -> None:
+        """Persist the trained network weights."""
+        self.network.save(path)
+
+    @classmethod
+    def from_pretrained(cls, path: str) -> "MLXC":
+        """Load an MLXC functional from saved network weights."""
+        return cls(network=MLP.load(path))
+
+    @classmethod
+    def pretrained(cls) -> "MLXC":
+        """Load the weights shipped with the package.
+
+        These were produced by ``examples/mlxc_training.py --save`` (the
+        full FCI -> invDFT -> training pipeline on the model-world
+        H2/LiH/Li/N set); see EXPERIMENTS.md Fig 3 for their accuracy.
+        """
+        import pathlib
+
+        path = pathlib.Path(__file__).resolve().parent / "data/mlxc_pretrained.npz"
+        if not path.exists():
+            raise FileNotFoundError(
+                "no shipped MLXC weights found; run "
+                "`python examples/mlxc_training.py --save` to generate them"
+            )
+        return cls.from_pretrained(str(path))
+
+    @classmethod
+    def bootstrapped_from(cls, reference: XCFunctional, seed: int = 0,
+                          epochs: int = 400, n_samples: int = 4000) -> "MLXC":
+        """Pretrain F_DNN to mimic a reference functional's F on a sample grid.
+
+        Used as the training warm start (and in tests): fits
+        ``F_ref = e_ref / (rho^(4/3) phi)`` over a physical range of
+        (rho, xi, s) by Adam on an MSE loss.
+        """
+        from repro.ml.nn import Adam
+
+        rng = np.random.default_rng(seed)
+        rho = 10.0 ** rng.uniform(-3, 1, n_samples)
+        xi = rng.uniform(-0.98, 0.98, n_samples)
+        s = 10.0 ** rng.uniform(-2, 1, n_samples)
+        rho_up = 0.5 * rho * (1 + xi)
+        rho_dn = 0.5 * rho * (1 - xi)
+        grad = s * 2.0 * (3 * np.pi**2) ** (-1 / 3) * rho ** (4 / 3)
+        sigma_tot = grad**2
+        # attribute the gradient to the channels proportionally
+        if reference.needs_gradient:
+            suu = sigma_tot * ((1 + xi) / 2) ** 2
+            sdd = sigma_tot * ((1 - xi) / 2) ** 2
+            sud = sigma_tot * (1 + xi) * (1 - xi) / 4
+            e_ref = np.real(reference.exc_density(rho_up, rho_dn, suu, sud, sdd))
+        else:
+            e_ref = np.real(reference.exc_density(rho_up, rho_dn))
+        F_target = e_ref / (rho ** (4 / 3) * phi_spin_factor(xi))
+        feats = feature_map(rho, xi, s)
+        net = MLP(DEFAULT_LAYERS, seed=seed)
+        opt = Adam(lr=3e-3)
+        theta = net.get_params()
+        for _ in range(epochs):
+            net.set_params(theta)
+            cache: list = []
+            pred = net.forward(feats, cache)[:, 0]
+            resid = pred - F_target
+            gW, gb, _ = net.backward(cache, (2.0 * resid / n_samples)[:, None])
+            grad_theta = net._flatten(gW, gb)
+            theta = opt.step(theta, grad_theta)
+        net.set_params(theta)
+        return cls(network=net)

@@ -1,0 +1,139 @@
+"""Cell-level batched assembly: stiffness action, KS operator, Bloch path."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fem.assembly import CellStiffness, KSOperator
+from repro.fem.mesh import Mesh3D, graded_edges, uniform_mesh
+
+
+def _dense_K(stiff: CellStiffness) -> np.ndarray:
+    """Assemble the dense stiffness for comparison (tiny meshes only)."""
+    mesh = stiff.mesh
+    n = mesh.nnodes
+    K = np.zeros((n, n), dtype=stiff.dtype)
+    for c in range(mesh.ncells):
+        Kc = stiff.cell_matrix(c)
+        idx = mesh.conn[c]
+        if stiff.phases is not None:
+            ph = stiff.phases[c]
+            Kc = np.conj(ph)[:, None] * Kc * ph[None, :]
+        K[np.ix_(idx, idx)] += Kc
+    return K
+
+
+@pytest.mark.parametrize("p", [2, 3])
+def test_apply_matches_dense_assembly(p):
+    m = uniform_mesh((1.0, 1.0, 1.0), (2, 2, 2), degree=p)
+    stiff = CellStiffness(m)
+    K = _dense_K(stiff)
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(m.nnodes, 3))
+    assert np.allclose(stiff.apply_full(X), K @ X, atol=1e-10)
+
+
+def test_apply_graded_mesh_matches_dense():
+    edges = (
+        graded_edges(2.0, 3, center=1.0, ratio=2.5),
+        graded_edges(1.0, 2),
+        graded_edges(1.0, 2),
+    )
+    m = Mesh3D(edges=edges, degree=2)
+    stiff = CellStiffness(m)
+    assert not stiff.is_uniform
+    K = _dense_K(stiff)
+    x = np.random.default_rng(1).normal(size=m.nnodes)
+    assert np.allclose(stiff.apply_full(x), K @ x, atol=1e-10)
+
+
+def test_diagonal_full_matches_dense():
+    m = uniform_mesh((1.0, 2.0, 1.0), (2, 1, 2), degree=3)
+    stiff = CellStiffness(m)
+    K = _dense_K(stiff)
+    assert np.allclose(stiff.diagonal_full(), np.diag(K).real, atol=1e-11)
+
+
+def test_stiffness_annihilates_constants_periodic():
+    m = uniform_mesh((1.0, 1.0, 1.0), (2, 2, 2), degree=2, pbc=(True, True, True))
+    stiff = CellStiffness(m)
+    ones = np.ones(m.nnodes)
+    assert np.allclose(stiff.apply_full(ones), 0.0, atol=1e-10)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10**6))
+def test_gather_scatter_adjointness(seed):
+    """Property: scatter is the adjoint of gather, <Sx, y> == <x, G^H y>."""
+    m = uniform_mesh((1.0, 1.0, 1.0), (2, 2, 1), degree=2, pbc=(True, False, False))
+    stiff = CellStiffness(m, kfrac=(0.3, 0.0, 0.0))
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(m.nnodes, 1)) + 1j * rng.normal(size=(m.nnodes, 1))
+    Yc = rng.normal(size=(m.ncells, m.nodes_per_cell, 1)) + 1j * rng.normal(
+        size=(m.ncells, m.nodes_per_cell, 1)
+    )
+    Gx = stiff.gather(x)
+    out = np.zeros((m.nnodes, 1), dtype=complex)
+    stiff.scatter_add(Yc, out)
+    lhs = np.vdot(Yc, Gx)
+    rhs = np.vdot(out, x)
+    assert np.isclose(lhs, rhs, rtol=1e-12)
+
+
+def test_ks_operator_hermitian_and_real_spectrum():
+    m = uniform_mesh((4.0, 4.0, 4.0), (2, 2, 2), degree=3)
+    op = KSOperator(m)
+    r = m.node_coords - 2.0
+    v = -1.0 / np.sqrt(np.einsum("ij,ij->i", r, r) + 1.0)
+    op.set_potential(v)
+    H = op.matrix()
+    assert np.allclose(H, H.T, atol=1e-10)
+    evals = np.linalg.eigvalsh(H)
+    assert evals[0] > -10  # bounded below
+
+
+def test_ks_operator_bloch_hermitian():
+    m = uniform_mesh((3.0, 3.0, 3.0), (2, 2, 2), degree=2, pbc=(True, False, False))
+    op = KSOperator(m, kfrac=(0.25, 0.0, 0.0))
+    v = np.cos(2 * np.pi * m.node_coords[:, 0] / 3.0)
+    op.set_potential(v)
+    H = op.matrix()
+    assert np.allclose(H, H.conj().T, atol=1e-10)
+
+
+def test_ks_operator_diagonal_matches_dense():
+    m = uniform_mesh((3.0, 3.0, 3.0), (2, 2, 2), degree=2)
+    op = KSOperator(m)
+    v = m.node_coords[:, 0] * 0.1
+    op.set_potential(v)
+    H = op.matrix()
+    assert np.allclose(op.diagonal(), np.diag(H).real, atol=1e-11)
+
+
+def test_free_particle_periodic_eigenvalues():
+    """Plane-wave spectrum of -1/2 lap on a periodic box: 0, then (2pi/L)^2/2."""
+    L = 2.0
+    m = uniform_mesh((L, L, L), (3, 3, 3), degree=4, pbc=(True, True, True))
+    op = KSOperator(m)
+    op.set_potential(np.zeros(m.nnodes))
+    H = op.matrix()
+    evals = np.sort(np.linalg.eigvalsh(H))
+    assert abs(evals[0]) < 1e-8
+    expected = 0.5 * (2 * np.pi / L) ** 2
+    # next 6 eigenvalues are the +-x, +-y, +-z plane waves
+    assert np.allclose(evals[1:7], expected, rtol=1e-3)
+
+
+def test_bloch_shifts_free_particle_spectrum():
+    """At k = 1/2 the lowest free-electron level is (pi/L)^2/2, doubly degenerate."""
+    L = 2.0
+    m = uniform_mesh((L, L, L), (3, 2, 2), degree=4, pbc=(True, False, False))
+    # compare Gamma vs k=0.5 lowest eigenvalue shift in a Dirichlet y,z box
+    op0 = KSOperator(m)
+    op0.set_potential(np.zeros(m.nnodes))
+    opk = KSOperator(m, kfrac=(0.5, 0.0, 0.0))
+    opk.set_potential(np.zeros(m.nnodes))
+    e0 = np.linalg.eigvalsh(op0.matrix())[0]
+    ek = np.linalg.eigvalsh(opk.matrix())[0]
+    assert np.isclose(ek - e0, 0.5 * (np.pi / L) ** 2, rtol=1e-3)

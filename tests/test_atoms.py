@@ -1,0 +1,103 @@
+"""Atomic data and soft pseudopotentials."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.special import erf
+
+from repro.atoms.elements import get_element, known_elements, valence_electron_count
+from repro.atoms.pseudo import AtomicConfiguration, local_potential, nuclear_repulsion
+
+
+def test_paper_valence_conventions():
+    """The valence counts that reproduce the paper's electron bookkeeping."""
+    assert get_element("Mg").valence == 2
+    assert get_element("Y").valence == 11
+    assert get_element("Cd").valence == 20
+    assert get_element("Yb").valence == 24
+    assert 295 * 24 + 1648 * 20 == 40040  # Yb295Cd1648
+    assert 6015 * 2 + 11 == 12041  # DislocMgY
+
+
+def test_unknown_element_raises():
+    with pytest.raises(KeyError):
+        get_element("Xx")
+    assert "Mg" in known_elements()
+
+
+def test_valence_electron_count():
+    assert valence_electron_count(["H", "He", "Li"]) == 1 + 2 + 3
+
+
+def test_local_potential_limits():
+    v0 = local_potential(np.array([0.0]), 2.0, 1.0)
+    assert np.isclose(v0[0], -2.0 * 2.0 / np.sqrt(np.pi))
+    # far field: plain -Z/r
+    r = np.array([25.0])
+    assert np.isclose(local_potential(r, 3.0, 1.0)[0], -3.0 / 25.0, rtol=1e-10)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    z=st.floats(0.5, 20.0),
+    rc=st.floats(0.5, 2.0),
+    r=st.floats(1e-4, 30.0),
+)
+def test_local_potential_bounded_and_monotone(z, rc, r):
+    """Property: v is finite, negative, and weaker than the bare Coulomb."""
+    v = local_potential(np.array([r]), z, rc)[0]
+    assert -z * 2.0 / (np.sqrt(np.pi) * rc) - 1e-12 <= v < 0.0
+    assert v >= -z / r - 1e-12 or r < rc  # |v| <= Z/r
+
+
+def test_configuration_validation():
+    with pytest.raises(ValueError):
+        AtomicConfiguration(["H", "H"], [[0, 0, 0]])
+
+
+def test_external_potential_superposition():
+    cfg = AtomicConfiguration(["H", "He"], [[0, 0, 0], [3, 0, 0]])
+    pts = np.array([[1.0, 0.0, 0.0]])
+    v = cfg.external_potential(pts)[0]
+    vh = local_potential(np.array([1.0]), 1, get_element("H").r_c)[0]
+    vhe = local_potential(np.array([2.0]), 2, get_element("He").r_c)[0]
+    assert np.isclose(v, vh + vhe)
+
+
+def test_nuclear_repulsion_far_limit():
+    """Well-separated smeared cores interact like point charges."""
+    cfg = AtomicConfiguration(["He", "He"], [[0, 0, 0], [20.0, 0, 0]])
+    assert np.isclose(nuclear_repulsion(cfg), 2.0 * 2.0 / 20.0, rtol=1e-10)
+
+
+def test_nuclear_repulsion_short_range_saturates():
+    """At overlap, erf smearing keeps the energy finite."""
+    cfg = AtomicConfiguration(["H", "H"], [[0, 0, 0], [1e-4, 0, 0]])
+    e = nuclear_repulsion(cfg)
+    rc = get_element("H").r_c
+    cap = 2.0 / (np.sqrt(np.pi) * np.sqrt(2) * rc)
+    assert 0 < e < 1.05 * cap
+
+
+def test_nuclear_repulsion_periodic_images():
+    lat = np.diag([5.0, 30.0, 30.0])
+    iso = AtomicConfiguration(["H"], [[2.5, 15, 15]])
+    per = AtomicConfiguration(["H"], [[2.5, 15, 15]], lattice=lat,
+                              pbc=(True, False, False))
+    # the periodic atom feels its own images at +-5 Bohr
+    expected_extra = 2 * 0.5 * erf(5.0 / np.sqrt(2 * 0.8**2)) / 5.0
+    assert np.isclose(
+        nuclear_repulsion(per) - nuclear_repulsion(iso), expected_extra, rtol=1e-8
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10**6))
+def test_nuclear_repulsion_translation_invariant(seed):
+    """Property: E_nn is invariant under rigid translations."""
+    rng = np.random.default_rng(seed)
+    pos = rng.uniform(0, 5, size=(4, 3))
+    cfg1 = AtomicConfiguration(["H", "He", "Li", "C"], pos)
+    cfg2 = AtomicConfiguration(["H", "He", "Li", "C"], pos + rng.uniform(-3, 3, 3))
+    assert np.isclose(nuclear_repulsion(cfg1), nuclear_repulsion(cfg2), rtol=1e-12)

@@ -1,0 +1,100 @@
+"""Band-structure utility, edge dislocation field, and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.core.bands import band_structure, kpath
+from repro.materials.defects import edge_dislocation_displacement
+
+
+def test_kpath_endpoints_and_spacing():
+    path = kpath((0, 0, 0), (0.5, 0, 0), 5)
+    assert len(path) == 5
+    assert path[0] == (0.0, 0.0, 0.0)
+    assert np.isclose(path[-1][0], 0.5)
+    steps = np.diff([k[0] for k in path])
+    assert np.allclose(steps, steps[0])
+    with pytest.raises(ValueError):
+        kpath((0, 0, 0), (1, 0, 0), 1)
+
+
+@pytest.mark.slow
+def test_band_structure_free_electron_dispersion():
+    """Empty-lattice bands: e(k) = (2 pi k / L)^2 / 2 along the chain axis."""
+    from repro.atoms.pseudo import AtomicConfiguration
+    from repro.core import DFTCalculation, SCFOptions
+    from repro.xc.lda import LDA
+
+    lat = np.diag([4.0, 10.0, 10.0])
+    chain = AtomicConfiguration(
+        ["H"], [[2.0, 5.0, 5.0]], lattice=lat, pbc=(True, False, False)
+    )
+    calc = DFTCalculation(
+        chain, padding=5.0, cells_per_axis=(2, 3, 3), degree=4,
+        kpoints=[((0.0, 0.0, 0.0), 0.5), ((0.5, 0.0, 0.0), 0.5)],
+        options=SCFOptions(max_iterations=40, temperature=5e-3), xc=LDA(),
+    )
+    res = calc.run()
+    path = kpath((0, 0, 0), (0.5, 0, 0), 3)
+    bands = band_structure(calc.mesh, res, path, nbands=4)
+    assert bands.shape == (3, 4)
+    # the lowest band disperses upward from Gamma to the zone boundary
+    assert bands[1, 0] > bands[0, 0]
+    assert bands[2, 0] > bands[1, 0]
+    # and matches the SCF eigenvalues at the sampled k-points
+    assert np.isclose(bands[0, 0], res.eigenvalues[0][0], atol=2e-3)
+    assert np.isclose(bands[2, 0], res.eigenvalues[1][0], atol=2e-3)
+
+
+def test_edge_dislocation_burgers_circuit():
+    """The displacement jump around the core equals the Burgers vector."""
+    b = 1.5
+    angles = np.linspace(-np.pi + 1e-3, np.pi - 1e-3, 400)
+    pts = np.stack([2 * np.cos(angles), 2 * np.sin(angles), np.zeros(400)], axis=1)
+    u = edge_dislocation_displacement(pts, (0.0, 0.0), b)
+    assert np.isclose(u[-1, 0] - u[0, 0], b, rtol=1e-2)
+    assert np.allclose(u[:, 2], 0.0)  # plane strain: no line component
+
+
+def test_edge_dislocation_far_field_decay():
+    """Strains decay like 1/r: displacement differences shrink with r."""
+    b = 1.0
+    near = edge_dislocation_displacement(
+        np.array([[2.0, 0.1, 0], [2.2, 0.1, 0]]), (0, 0), b
+    )
+    far = edge_dislocation_displacement(
+        np.array([[20.0, 0.1, 0], [20.2, 0.1, 0]]), (0, 0), b
+    )
+    assert abs(far[1, 1] - far[0, 1]) < 0.2 * abs(near[1, 1] - near[0, 1])
+
+
+# ----- CLI ----------------------------------------------------------------------
+def test_cli_info(capsys):
+    from repro.__main__ import main
+
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "DFT-FE-MLXC" in out and "Frontier" in out
+
+
+def test_cli_perfmodel(capsys):
+    from repro.__main__ import main
+
+    assert main(["perfmodel", "TwinDislocMgY(A)", "--nodes", "2400"]) == 0
+    out = capsys.readouterr().out
+    assert "CholGS-S" in out and "PFLOPS" in out
+
+
+def test_cli_scf_unknown_molecule(capsys):
+    from repro.__main__ import main
+
+    assert main(["scf", "Unobtainium"]) == 2
+
+
+@pytest.mark.slow
+def test_cli_scf_h2(capsys):
+    from repro.__main__ import main
+
+    assert main(["scf", "H2", "--degree", "3", "--cells", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "converged=True" in out

@@ -1,0 +1,62 @@
+"""Lagrange basis: cardinality, partition of unity, derivative accuracy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fem.basis1d import barycentric_weights, derivative_matrix, lagrange_eval
+from repro.fem.quadrature import gauss_lobatto_legendre
+
+
+@pytest.mark.parametrize("p", [1, 2, 4, 6, 8])
+def test_cardinal_property(p):
+    nodes, _ = gauss_lobatto_legendre(p + 1)
+    L = lagrange_eval(nodes, nodes)
+    assert np.allclose(L, np.eye(p + 1), atol=1e-12)
+
+
+@pytest.mark.parametrize("p", [2, 4, 6])
+def test_partition_of_unity(p):
+    nodes, _ = gauss_lobatto_legendre(p + 1)
+    x = np.linspace(-1, 1, 37)
+    L = lagrange_eval(nodes, x)
+    assert np.allclose(L.sum(axis=1), 1.0, atol=1e-11)
+
+
+@pytest.mark.parametrize("p", [2, 3, 5, 7])
+def test_derivative_matrix_exact_on_polynomials(p):
+    """D applied to nodal values of x^d gives nodal values of d*x^(d-1)."""
+    nodes, _ = gauss_lobatto_legendre(p + 1)
+    D = derivative_matrix(nodes)
+    for d in range(0, p + 1):
+        f = nodes**d
+        df = d * nodes ** max(d - 1, 0) if d > 0 else np.zeros_like(nodes)
+        assert np.allclose(D @ f, df, atol=1e-10), d
+
+
+@pytest.mark.parametrize("p", [3, 5])
+def test_derivative_rows_sum_to_zero(p):
+    nodes, _ = gauss_lobatto_legendre(p + 1)
+    D = derivative_matrix(nodes)
+    assert np.allclose(D.sum(axis=1), 0.0, atol=1e-12)
+
+
+@settings(max_examples=20, deadline=None)
+@given(p=st.integers(min_value=2, max_value=7), seed=st.integers(0, 10**6))
+def test_interpolation_reproduces_polynomials(p, seed):
+    """Property: degree-p interpolant through GLL nodes is exact for deg<=p."""
+    rng = np.random.default_rng(seed)
+    c = rng.normal(size=p + 1)
+    nodes, _ = gauss_lobatto_legendre(p + 1)
+    x = np.linspace(-1, 1, 23)
+    L = lagrange_eval(nodes, x)
+    f_nodes = np.polynomial.polynomial.polyval(nodes, c)
+    f_x = np.polynomial.polynomial.polyval(x, c)
+    assert np.allclose(L @ f_nodes, f_x, rtol=1e-9, atol=1e-9)
+
+
+def test_barycentric_weights_alternating_sign():
+    nodes, _ = gauss_lobatto_legendre(6)
+    w = barycentric_weights(nodes)
+    assert np.all(np.sign(w[:-1]) == -np.sign(w[1:]))

@@ -1,0 +1,65 @@
+"""Reference spectral element: mass, stiffness, gradient operators."""
+
+import numpy as np
+import pytest
+
+from repro.fem.cell import reference_cell
+
+
+@pytest.mark.parametrize("p", [1, 2, 3, 4])
+def test_mass_diag_sums_to_volume(p):
+    ref = reference_cell(p)
+    h = (1.5, 2.0, 0.7)
+    m = ref.mass_diag(h)
+    assert np.isclose(m.sum(), np.prod(h), rtol=1e-12)
+    assert np.all(m > 0)
+
+
+@pytest.mark.parametrize("p", [1, 2, 3])
+def test_stiffness_symmetric_psd_with_constant_nullspace(p):
+    ref = reference_cell(p)
+    K = ref.stiffness((1.0, 1.3, 0.8))
+    assert np.allclose(K, K.T, atol=1e-12)
+    ones = np.ones(K.shape[0])
+    assert np.allclose(K @ ones, 0.0, atol=1e-10)
+    evals = np.linalg.eigvalsh(K)
+    assert evals[0] > -1e-10
+
+
+@pytest.mark.parametrize("p", [2, 3, 4])
+def test_stiffness_energy_of_linear_field(p):
+    """For u = a*x + b*y + c*z, u^T K u = (a^2+b^2+c^2) * volume."""
+    ref = reference_cell(p)
+    h = (2.0, 1.0, 3.0)
+    K = ref.stiffness(h)
+    coords = ref.local_coords()  # reference coords in [-1,1]^3
+    phys = coords * (np.array(h) / 2.0)
+    a, b, c = 0.7, -1.2, 0.4
+    u = a * phys[:, 0] + b * phys[:, 1] + c * phys[:, 2]
+    expected = (a**2 + b**2 + c**2) * np.prod(h)
+    assert np.isclose(u @ K @ u, expected, rtol=1e-10)
+
+
+@pytest.mark.parametrize("p", [2, 4])
+def test_gradient_operators_exact_on_linears(p):
+    ref = reference_cell(p)
+    h = (1.0, 2.0, 0.5)
+    Gx, Gy, Gz = ref.gradient_operators(h)
+    coords = ref.local_coords() * (np.array(h) / 2.0)
+    u = 3.0 * coords[:, 0] - 2.0 * coords[:, 1] + 0.25 * coords[:, 2]
+    assert np.allclose(Gx @ u, 3.0, atol=1e-10)
+    assert np.allclose(Gy @ u, -2.0, atol=1e-10)
+    assert np.allclose(Gz @ u, 0.25, atol=1e-10)
+
+
+def test_local_coords_ordering_z_fastest():
+    ref = reference_cell(2)
+    lc = ref.local_coords()
+    # first three nodes share (x, y) and sweep z
+    assert np.allclose(lc[0, :2], lc[1, :2])
+    assert lc[0, 2] < lc[1, 2] < lc[2, 2]
+
+
+def test_invalid_degree_raises():
+    with pytest.raises(ValueError):
+        reference_cell(0)

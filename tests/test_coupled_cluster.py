@@ -1,0 +1,134 @@
+"""HF / MP2 / CCD on the FE orbital basis, anchored against FCI."""
+
+import numpy as np
+import pytest
+
+from repro.qmb.coupled_cluster import ccd, ccsd, mp2_energy, restricted_hartree_fock
+from repro.qmb.fci import FCISolver
+from repro.qmb.integrals import OrbitalIntegrals
+
+
+@pytest.fixture(scope="module")
+def h2_ints():
+    from repro.core.density import orbitals_to_nodes
+    from repro.pipeline import qmb_reference
+    from repro.qmb.integrals import compute_integrals
+
+    ref = qmb_reference("H2", cells_per_axis=4, degree=3)
+    phi = orbitals_to_nodes(ref.calc.mesh, ref.calc.driver.channels[0].psi)[:, :6]
+    return compute_integrals(ref.calc.mesh, ref.calc.config, phi)
+
+
+@pytest.fixture(scope="module")
+def h2_ladder(h2_ints):
+    hf = restricted_hartree_fock(h2_ints, 2)
+    e_mp2 = mp2_energy(h2_ints, hf)
+    cc = ccd(h2_ints, hf)
+    fci = FCISolver(h2_ints, 1, 1).ground_state()
+    return hf, e_mp2, cc, fci
+
+
+def test_hf_converges_and_is_variational(h2_ladder):
+    hf, _, _, fci = h2_ladder
+    assert hf.converged
+    assert hf.energy >= fci.energy - 1e-10  # HF bounded below by FCI
+
+
+def test_mp2_correction_negative(h2_ladder):
+    _, e_mp2, _, _ = h2_ladder
+    assert -0.1 < e_mp2 < 0.0
+
+
+def test_ccd_ladder_ordering(h2_ladder):
+    """E_HF > E_MP2 > E_CCD >= E_FCI for weak correlation."""
+    hf, e_mp2, cc, fci = h2_ladder
+    assert cc.converged
+    assert hf.energy > hf.energy + e_mp2 > cc.energy - 1e-10
+    assert cc.energy >= fci.energy - 1e-6
+
+
+def test_ccd_near_exact_for_two_electrons(h2_ladder):
+    """2 e-: CCD recovers FCI up to the Brillouin-suppressed singles."""
+    _, _, cc, fci = h2_ladder
+    assert abs(cc.energy - fci.energy) < 1e-3
+    # and recovers the bulk of the correlation energy
+    hf, e_mp2, cc, fci = h2_ladder
+    e_corr_exact = fci.energy - hf.energy
+    assert cc.correlation / e_corr_exact > 0.9
+
+
+def test_ccd_independent_of_damping(h2_ints):
+    hf = restricted_hartree_fock(h2_ints, 2)
+    a = ccd(h2_ints, hf, damping=0.1)
+    b = ccd(h2_ints, hf, damping=0.5, max_iterations=400)
+    assert a.converged and b.converged
+    assert np.isclose(a.energy, b.energy, atol=1e-7)
+
+
+def test_rhf_rejects_odd_electrons(h2_ints):
+    with pytest.raises(ValueError):
+        restricted_hartree_fock(h2_ints, 3)
+
+
+def test_hf_brillouin_condition(h2_ints):
+    """Canonical HF: the Fock matrix is diagonal in its own MO basis."""
+    hf = restricted_hartree_fock(h2_ints, 2)
+    C = hf.coefficients
+    D = 2.0 * C[:, : hf.n_occ] @ C[:, : hf.n_occ].T
+    F = (
+        h2_ints.h
+        + np.einsum("pqrs,rs->pq", h2_ints.eri, D)
+        - 0.5 * np.einsum("prqs,rs->pq", h2_ints.eri, D)
+    )
+    F_mo = C.T @ F @ C
+    off = F_mo - np.diag(np.diag(F_mo))
+    assert np.abs(off).max() < 1e-6  # occupied-virtual block ~ 0
+
+
+def test_fig1_ladder_with_lih(h2_ints):
+    """A second system (4 e-): CCD lands between MP2 and FCI."""
+    from repro.core.density import orbitals_to_nodes
+    from repro.pipeline import qmb_reference
+    from repro.qmb.integrals import compute_integrals
+
+    ref = qmb_reference("LiH", cells_per_axis=4, degree=3)
+    phi = orbitals_to_nodes(ref.calc.mesh, ref.calc.driver.channels[0].psi)[:, :6]
+    ints = compute_integrals(ref.calc.mesh, ref.calc.config, phi)
+    hf = restricted_hartree_fock(ints, 4)
+    cc = ccd(ints, hf)
+    fci = FCISolver(ints, 2, 2).ground_state()
+    assert hf.converged and cc.converged
+    assert hf.energy > cc.energy
+    assert abs(cc.energy - fci.energy) < 5e-3  # CCD close to exact
+
+
+def test_ccsd_exact_for_two_electrons(h2_ladder, h2_ints):
+    """CCSD spans the full 2-electron excitation space: must equal FCI."""
+    hf, _, _, fci = h2_ladder
+    cc = ccsd(h2_ints, hf)
+    assert cc.converged
+    assert abs(cc.energy - fci.energy) < 1e-7
+
+
+def test_ccsd_improves_on_ccd(h2_ladder, h2_ints):
+    hf, _, cc_d, fci = h2_ladder
+    cc_s = ccsd(h2_ints, hf)
+    assert abs(cc_s.energy - fci.energy) < abs(cc_d.energy - fci.energy)
+
+
+def test_ccsd_lih_between_ccd_and_fci(h2_ints):
+    """4-electron system: CCSD between HF and FCI, tighter than CCD."""
+    from repro.core.density import orbitals_to_nodes
+    from repro.pipeline import qmb_reference
+    from repro.qmb.integrals import compute_integrals
+
+    ref = qmb_reference("LiH", cells_per_axis=4, degree=3)
+    phi = orbitals_to_nodes(ref.calc.mesh, ref.calc.driver.channels[0].psi)[:, :6]
+    ints = compute_integrals(ref.calc.mesh, ref.calc.config, phi)
+    hf = restricted_hartree_fock(ints, 4)
+    cc_d = ccd(ints, hf)
+    cc_s = ccsd(ints, hf)
+    fci = FCISolver(ints, 2, 2).ground_state()
+    assert cc_s.converged
+    assert hf.energy > cc_s.energy >= fci.energy - 1e-8
+    assert abs(cc_s.energy - fci.energy) <= abs(cc_d.energy - fci.energy) + 1e-9

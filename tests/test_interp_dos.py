@@ -1,0 +1,109 @@
+"""Field interpolation and density-of-states utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dos import density_of_states, integrated_dos
+from repro.fem.interpolation import FieldInterpolator
+from repro.fem.mesh import Mesh3D, graded_edges, uniform_mesh
+
+
+def test_interpolator_exact_on_fe_space_polynomials():
+    """Degree-p fields are reproduced exactly at arbitrary points."""
+    mesh = uniform_mesh((2.0, 3.0, 1.0), (2, 2, 2), degree=3)
+    r = mesh.node_coords
+    field = 1.0 + r[:, 0] ** 3 - 2 * r[:, 1] * r[:, 2] + r[:, 2] ** 2
+    interp = FieldInterpolator(mesh)
+    rng = np.random.default_rng(0)
+    pts = rng.uniform(0, 1, size=(40, 3)) * np.array([2.0, 3.0, 1.0])
+    exact = 1.0 + pts[:, 0] ** 3 - 2 * pts[:, 1] * pts[:, 2] + pts[:, 2] ** 2
+    assert np.allclose(interp(field, pts), exact, atol=1e-11)
+
+
+def test_interpolator_at_nodes_is_identity():
+    mesh = uniform_mesh((1.0,) * 3, (2, 2, 2), degree=2)
+    field = np.random.default_rng(1).normal(size=mesh.nnodes)
+    interp = FieldInterpolator(mesh)
+    sample = mesh.node_coords[::7]
+    assert np.allclose(interp(field, sample), field[::7], atol=1e-10)
+
+
+def test_interpolator_graded_mesh_and_vector_fields():
+    edges = (
+        graded_edges(2.0, 3, center=1.0, ratio=3.0),
+        graded_edges(2.0, 2),
+        graded_edges(2.0, 2),
+    )
+    mesh = Mesh3D(edges=edges, degree=2)
+    r = mesh.node_coords
+    field = np.stack([r[:, 0], r[:, 1] ** 2], axis=1)
+    interp = FieldInterpolator(mesh)
+    pts = np.array([[0.3, 1.1, 0.5], [1.9, 0.2, 1.7]])
+    out = interp(field, pts)
+    assert np.allclose(out[:, 0], pts[:, 0], atol=1e-10)
+    assert np.allclose(out[:, 1], pts[:, 1] ** 2, atol=1e-10)
+
+
+def test_interpolator_rejects_outside_points():
+    mesh = uniform_mesh((1.0,) * 3, (1, 1, 1), degree=2)
+    interp = FieldInterpolator(mesh)
+    with pytest.raises(ValueError):
+        interp(np.ones(mesh.nnodes), np.array([[2.0, 0.5, 0.5]]))
+    with pytest.raises(ValueError):
+        interp(np.ones(4), np.array([[0.5, 0.5, 0.5]]))
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10**6))
+def test_interpolation_partition_of_unity(seed):
+    """Property: interpolating the constant-1 field gives 1 everywhere."""
+    mesh = uniform_mesh((1.5, 1.0, 1.0), (2, 1, 2), degree=3)
+    interp = FieldInterpolator(mesh)
+    pts = np.random.default_rng(seed).uniform(0, 1, (10, 3)) * np.array(
+        [1.5, 1.0, 1.0]
+    )
+    assert np.allclose(interp(np.ones(mesh.nnodes), pts), 1.0, atol=1e-12)
+
+
+# ----- DOS --------------------------------------------------------------------
+def test_dos_normalization():
+    """Integrating g(E) over everything counts all weighted states."""
+    evals = [np.array([-1.0, 0.0, 1.0]), np.array([-0.5, 0.5, 1.5])]
+    weights = [0.5, 0.5]
+    E = np.linspace(-4, 5, 4001)
+    g = density_of_states(evals, weights, E, sigma=0.05)
+    total = integrated_dos(E, g, 5.0)
+    assert np.isclose(total, 2.0 * 3.0, rtol=1e-3)  # degeneracy 2 x 3 states
+
+
+def test_dos_peak_positions():
+    evals = [np.array([-1.0, 1.0])]
+    E = np.linspace(-2, 2, 2001)
+    g = density_of_states(evals, [1.0], E, sigma=0.02)
+    peaks = E[np.argsort(g)[-2:]]
+    assert np.allclose(np.sort(np.round(peaks, 1)), [-1.0, 1.0], atol=0.05)
+
+
+def test_dos_counts_electrons_below_fermi():
+    """Integrated DOS up to mu equals the electron count of an SCF result."""
+    from repro.atoms.pseudo import AtomicConfiguration
+    from repro.core import DFTCalculation
+    from repro.xc.lda import LDA
+
+    config = AtomicConfiguration(["He"], [[0, 0, 0]])
+    calc = DFTCalculation(config, xc=LDA(), padding=8.0, cells_per_axis=3, degree=3)
+    res = calc.run()
+    E = np.linspace(res.eigenvalues[0][0] - 0.5, res.fermi_level + 0.3, 3000)
+    g = density_of_states(
+        res.eigenvalues, [ch.weight for ch in res.channels], E, sigma=0.01
+    )
+    # integrate to the (mid-gap) Fermi level: only the HOMO contributes
+    n = integrated_dos(E, g, res.fermi_level)
+    assert np.isclose(n, 2.0, atol=0.1)
+
+
+def test_dos_invalid_sigma():
+    with pytest.raises(ValueError):
+        density_of_states([np.array([0.0])], [1.0], np.linspace(-1, 1, 10), sigma=0)

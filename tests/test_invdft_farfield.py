@@ -1,0 +1,107 @@
+"""invDFT far-field condition (paper Sec 5.1) and pretrained MLXC loading."""
+
+import numpy as np
+import pytest
+
+from repro.atoms.pseudo import AtomicConfiguration
+from repro.core import DFTCalculation
+from repro.invdft import InverseDFT
+from repro.xc.lda import LDA
+from repro.xc.mlxc import MLXC
+
+
+@pytest.fixture(scope="module")
+def he_inverse():
+    config = AtomicConfiguration(["He"], [[0, 0, 0]])
+    calc = DFTCalculation(
+        config, xc=LDA(), padding=8.0, cells_per_axis=3, degree=3, nstates=3
+    )
+    res = calc.run()
+    inv = InverseDFT(
+        calc.mesh, calc.config, res.rho_spin, nstates=3,
+        minres_tol=1e-6, minres_maxiter=100,
+    )
+    return calc, res, inv
+
+
+def test_coulombic_farfield_imposes_minus_one_over_r(he_inverse):
+    calc, res, inv = he_inverse
+    out = inv.run(
+        res.v_xc_spin.copy(), eta=1.0, max_iterations=5, tol=1e-14,
+        farfield="coulombic",
+    )
+    mesh = calc.mesh
+    b = mesh.boundary_mask
+    rho = res.rho
+    center = np.asarray(
+        mesh.integrate(rho[:, None] * mesh.node_coords)
+    ) / float(mesh.integrate(rho))
+    r = np.linalg.norm(mesh.node_coords[b] - center, axis=1)
+    assert np.allclose(out.v_xc[b, 0], -1.0 / r, atol=1e-10)
+    assert np.allclose(out.v_xc[b, 1], -1.0 / r, atol=1e-10)
+
+
+def test_frozen_farfield_keeps_initial_boundary(he_inverse):
+    calc, res, inv = he_inverse
+    out = inv.run(
+        res.v_xc_spin.copy(), eta=1.0, max_iterations=3, tol=1e-14,
+        farfield="frozen",
+    )
+    b = calc.mesh.boundary_mask
+    assert np.allclose(out.v_xc[b], res.v_xc_spin[b], atol=1e-12)
+
+
+def test_invalid_farfield_rejected(he_inverse):
+    _, res, inv = he_inverse
+    with pytest.raises(ValueError, match="farfield"):
+        inv.run(res.v_xc_spin, max_iterations=1, farfield="bogus")
+
+
+def test_coulombic_farfield_still_optimizes(he_inverse):
+    """The optimization proceeds under the physical boundary condition."""
+    calc, res, inv2 = he_inverse
+    inv = InverseDFT(
+        calc.mesh, calc.config, res.rho_spin, nstates=3,
+        minres_tol=1e-6, minres_maxiter=100,
+    )
+    out = inv.run(
+        np.zeros_like(res.v_xc_spin), eta=2.0, max_iterations=25, tol=1e-14,
+        farfield="coulombic",
+    )
+    # the pinned physical tail is inconsistent with the planted LDA-world
+    # potential, so the residual floor is higher than in the frozen case —
+    # but the optimization still makes clear progress
+    assert out.history[-1]["density_error"] < 0.6 * out.history[0]["density_error"]
+
+
+# ----- pretrained MLXC -----------------------------------------------------------
+def test_pretrained_mlxc_loads_and_evaluates():
+    m = MLXC.pretrained()
+    assert m.network.layer_sizes == (3, 80, 80, 80, 80, 80, 1)
+    ru = rd = np.array([0.2, 0.05])
+    zero = np.zeros(2)
+    e = m.exc_density(ru, rd, zero + 1e-4, zero, zero + 1e-4)
+    assert np.all(np.isfinite(e)) and np.all(e < 0)  # physical XC density
+
+
+def test_pretrained_mlxc_beats_lda_on_heldout_he():
+    """The shipped weights reproduce the Fig 3 headline on He."""
+    from repro.core import SCFOptions
+
+    config = AtomicConfiguration(["He"], [[0, 0, 0]])
+    calc_lda = DFTCalculation(
+        config, xc=LDA(), padding=8.0, cells_per_axis=4, degree=4
+    )
+    res_lda = calc_lda.run()
+    # the neural v_xc's recovered-gradient noise sets a ~1e-5 density
+    # residual floor; the energy itself is stable to ~1e-8 well before that
+    res_ml = DFTCalculation(
+        calc_lda.config, xc=MLXC.pretrained(), mesh=calc_lda.mesh,
+        options=SCFOptions(max_iterations=80, density_tol=5e-5),
+    ).run()
+    assert res_ml.converged
+    # FCI reference energy for this exact mesh/config pipeline setup
+    from repro.pipeline import qmb_reference
+
+    ref = qmb_reference("He")
+    assert abs(res_ml.energy - ref.e_fci) < abs(res_lda.energy - ref.e_fci)

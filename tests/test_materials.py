@@ -1,0 +1,225 @@
+"""Materials substrate: lattices, quasicrystal cut-and-project, defects."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.materials.defects import (
+    apply_screw_dislocation,
+    reflection_twin,
+    screw_dislocation_displacement,
+    solute_at_core,
+    substitute_solutes,
+)
+from repro.materials.lattice import MG_A, MG_C, hcp_orthorhombic, supercell
+from repro.materials.quasicrystal import (
+    TAU,
+    cut_and_project,
+    icosahedral_projectors,
+    ybcd_nanoparticle,
+)
+from repro.materials.systems import build_system, kpoint_set
+
+
+# ----- lattice ------------------------------------------------------------
+def test_hcp_cell_geometry():
+    lat, sym, frac = hcp_orthorhombic()
+    assert len(sym) == 4
+    assert np.isclose(lat[1, 1] / lat[0, 0], np.sqrt(3.0))
+    assert np.isclose(lat[2, 2] / lat[0, 0], MG_C / MG_A)
+
+
+@settings(max_examples=10, deadline=None)
+@given(reps=st.tuples(st.integers(1, 4), st.integers(1, 4), st.integers(1, 4)))
+def test_supercell_counts_and_bounds(reps):
+    """Property: supercell atom count and bounding box scale with reps."""
+    lat, sym, frac = hcp_orthorhombic()
+    cfg = supercell(lat, sym, frac, reps)
+    assert cfg.natoms == 4 * np.prod(reps)
+    assert np.all(cfg.positions >= -1e-9)
+    assert np.all(cfg.positions <= np.diag(cfg.lattice) + 1e-9)
+
+
+def test_supercell_min_distance_physical():
+    lat, sym, frac = hcp_orthorhombic()
+    cfg = supercell(lat, sym, frac, (2, 2, 2))
+    from scipy.spatial import cKDTree
+
+    d, _ = cKDTree(cfg.positions).query(cfg.positions, k=2)
+    assert d[:, 1].min() > 0.9 * MG_A / np.sqrt(3) * np.sqrt(3) * 0.5
+
+
+# ----- quasicrystal ---------------------------------------------------------
+def test_projectors_orthogonal():
+    e_par, e_perp = icosahedral_projectors()
+    M = np.vstack([e_par, e_perp])
+    assert np.allclose(M @ M.T, np.eye(6), atol=1e-12)
+    assert np.allclose(e_par.T @ e_par + e_perp.T @ e_perp, np.eye(6), atol=1e-12)
+
+
+def test_golden_ratio_in_projector_overlaps():
+    """Pairs of icosahedral axes have |cos| = 1/sqrt(5) (tau geometry)."""
+    e_par, _ = icosahedral_projectors()
+    cols = e_par.T * np.sqrt(2.0)  # unit axis vectors
+    c = abs(np.dot(cols[0], cols[1]))
+    assert np.isclose(c, 1.0 / np.sqrt(5.0), atol=1e-12)
+    assert np.isclose(TAU, 1.0 + 1.0 / TAU, atol=1e-14)
+
+
+@pytest.fixture(scope="module")
+def nano():
+    return ybcd_nanoparticle()
+
+
+def test_ybcd_nanoparticle_matches_paper_counts(nano):
+    assert nano.natoms == 1943
+    assert nano.config.symbols.count("Yb") == 295
+    assert nano.config.symbols.count("Cd") == 1648
+    assert nano.config.n_electrons == 40040
+
+
+def test_ybcd_physical_distances(nano):
+    from scipy.spatial import cKDTree
+
+    d, _ = cKDTree(nano.config.positions).query(nano.config.positions, k=2)
+    assert d[:, 1].min() > 4.5  # no overlapping atoms (Bohr)
+
+
+def test_quasicrystal_no_translational_symmetry(nano):
+    """No lattice vector maps the point set onto itself (aperiodicity)."""
+    pos = nano.config.positions
+    from scipy.spatial import cKDTree
+
+    tree = cKDTree(pos)
+    # try the shortest interatomic vectors as candidate translations
+    center = pos[np.argmin(np.linalg.norm(pos, axis=1))]
+    d, idx = tree.query(center, k=8)
+    core = np.linalg.norm(pos, axis=1) < 15.0  # test the interior only
+    for j in idx[1:4]:
+        t = pos[j] - center
+        shifted = pos[core] + t
+        dd, _ = tree.query(shifted, k=1)
+        # a periodic crystal would map (almost) every interior atom onto
+        # another atom; the quasicrystal must fail for a sizable fraction
+        frac_mapped = float(np.mean(dd < 0.3))
+        assert frac_mapped < 0.9, t
+
+
+def test_quasicrystal_icosahedral_point_symmetry(nano):
+    """A 5-fold icosahedral rotation approximately preserves the point set."""
+    e_par, _ = icosahedral_projectors()
+    axis = e_par[:, 0] / np.linalg.norm(e_par[:, 0])  # a 5-fold axis
+    theta = 2.0 * np.pi / 5.0
+    K = np.array(
+        [[0, -axis[2], axis[1]], [axis[2], 0, -axis[0]], [-axis[1], axis[0], 0]]
+    )
+    R = np.eye(3) + np.sin(theta) * K + (1 - np.cos(theta)) * (K @ K)
+    pos = nano.config.positions
+    core = pos[np.linalg.norm(pos, axis=1) < 20.0]
+    rotated = core @ R.T
+    from scipy.spatial import cKDTree
+
+    d, _ = cKDTree(pos).query(rotated, k=1)
+    assert float(np.mean(d < 0.5)) > 0.9  # most interior sites map onto sites
+
+
+def test_cut_and_project_empty_window():
+    pos, perp = cut_and_project(3.0, 1e-6, scale=1.0)
+    assert len(pos) <= 1  # only the origin survives a vanishing window
+
+
+# ----- defects -----------------------------------------------------------------
+def test_screw_displacement_winding():
+    """The displacement jumps by b when winding around the core."""
+    b = 2.0
+    angles = np.linspace(-np.pi + 0.01, np.pi - 0.01, 100)
+    pts = np.stack([np.cos(angles), np.sin(angles), np.zeros(100)], axis=1)
+    u = screw_dislocation_displacement(pts, (0.0, 0.0), b)
+    assert np.isclose(u[-1, 2] - u[0, 2], b, atol=0.05)
+    assert np.allclose(u[:, :2], 0.0)
+
+
+def test_apply_screw_dislocation_preserves_counts():
+    lat, sym, frac = hcp_orthorhombic()
+    cfg = supercell(lat, sym, frac, (4, 4, 2), pbc=(False, False, True))
+    d = apply_screw_dislocation(cfg)
+    assert d.natoms == cfg.natoms
+    assert not np.allclose(d.positions, cfg.positions)
+    # line-direction coordinates stay within the cell
+    assert np.all(d.positions[:, 2] >= 0) and np.all(
+        d.positions[:, 2] <= d.lattice[2, 2] + 1e-9
+    )
+
+
+def test_reflection_twin_mirror_symmetry():
+    lat, sym, frac = hcp_orthorhombic()
+    cfg = supercell(lat, sym, frac, (2, 6, 2))
+    ly = cfg.lattice[1, 1]
+    plane = (0.5 + 0.25 / 6) * ly
+    twin = reflection_twin(cfg, plane_axis=1, plane_position=plane, merge_tol=0.0)
+    assert twin.natoms == cfg.natoms  # plane between layers: no merging
+    # atoms below the plane are untouched
+    lower = cfg.positions[:, 1] < plane
+    assert np.allclose(twin.positions[lower], cfg.positions[lower])
+    # upper half got reflected: its y-extent is preserved, order reversed
+    upper_old = cfg.positions[~lower, 1]
+    upper_new = twin.positions[~lower, 1]
+    assert np.allclose(np.sort(plane + (ly - upper_old)), np.sort(upper_new))
+
+
+def test_substitute_solutes_count_and_determinism():
+    lat, sym, frac = hcp_orthorhombic()
+    cfg = supercell(lat, sym, frac, (3, 3, 3))
+    a = substitute_solutes(cfg, "Y", 5, seed=7)
+    b = substitute_solutes(cfg, "Y", 5, seed=7)
+    assert a.symbols.count("Y") == 5
+    assert a.symbols == b.symbols  # deterministic
+    with pytest.raises(ValueError):
+        substitute_solutes(cfg, "Y", cfg.natoms + 1)
+
+
+def test_solute_at_core_picks_nearest():
+    lat, sym, frac = hcp_orthorhombic()
+    cfg = supercell(lat, sym, frac, (2, 2, 2))
+    target = cfg.positions[10] + 0.1
+    out = solute_at_core(cfg, "Y", target)
+    assert out.symbols[10] == "Y"
+    assert out.symbols.count("Y") == 1
+
+
+# ----- named systems -------------------------------------------------------------
+@pytest.mark.parametrize(
+    "name,natoms,e_per_k,nk,total_e",
+    [
+        ("DislocMgY", 6016, 12041, 2, 24082),
+        ("TwinDislocMgY(A)", 36344, 75667, 4, 302668),
+        ("TwinDislocMgY(B)", 74164, 154781, 3, 464343),
+        ("TwinDislocMgY(C)", 74164, 154781, 4, 619124),
+    ],
+)
+def test_benchmark_system_counts_match_paper(name, natoms, e_per_k, nk, total_e):
+    s = build_system(name)
+    assert s.config.natoms == natoms
+    assert s.electrons_per_kpoint == e_per_k
+    assert s.n_kpoints == nk
+    assert s.supercell_electrons == total_e
+
+
+def test_ortho_benzyne_geometry():
+    s = build_system("OrthoBenzyne")
+    assert s.config.symbols.count("C") == 6
+    assert s.config.symbols.count("H") == 4
+    assert s.config.n_electrons == 28
+
+
+def test_kpoint_set_weights():
+    kpts = kpoint_set(4)
+    assert len(kpts) == 4
+    assert np.isclose(sum(w for _, w in kpts), 1.0)
+    assert kpts[0][0] == (0.0, 0.0, 0.0)
+
+
+def test_unknown_system_raises():
+    with pytest.raises(KeyError):
+        build_system("NotASystem")

@@ -1,0 +1,121 @@
+"""Mesh: connectivity, integration, Bloch phases, gradients."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fem.mesh import Mesh3D, graded_edges, uniform_mesh
+
+
+def test_counts_nonperiodic():
+    m = uniform_mesh((2.0, 2.0, 2.0), (2, 3, 1), degree=3)
+    assert m.ncells == 6
+    assert m.nnodes_axis == (7, 10, 4)
+    assert m.nnodes == 7 * 10 * 4
+    assert m.conn.shape == (6, 64)
+
+
+def test_counts_periodic():
+    m = uniform_mesh((2.0, 2.0, 2.0), (2, 2, 2), degree=2, pbc=(True, True, True))
+    assert m.nnodes_axis == (4, 4, 4)
+    assert m.free.size == m.nnodes  # no Dirichlet nodes
+
+
+def test_integrate_volume_and_polynomial():
+    L = (1.0, 2.0, 3.0)
+    m = uniform_mesh(L, (2, 2, 2), degree=4)
+    ones = np.ones(m.nnodes)
+    assert np.isclose(m.integrate(ones), np.prod(L), rtol=1e-12)
+    x = m.node_coords[:, 0]
+    # integral of x^2 over the box
+    exact = (L[0] ** 3 / 3.0) * L[1] * L[2]
+    assert np.isclose(m.integrate(x**2), exact, rtol=1e-10)
+
+
+def test_graded_edges_properties():
+    e = graded_edges(10.0, 8, center=5.0, ratio=3.0)
+    assert e[0] == 0.0 and np.isclose(e[-1], 10.0)
+    widths = np.diff(e)
+    assert np.all(widths > 0)
+    # smallest cells near the center
+    assert widths[3] < widths[0] and widths[4] < widths[-1]
+    # uniform fallback
+    assert np.allclose(graded_edges(4.0, 4), np.linspace(0, 4, 5))
+
+
+def test_graded_mesh_integration_still_exact():
+    edges = (
+        graded_edges(2.0, 3, center=1.0, ratio=2.0),
+        graded_edges(2.0, 2),
+        graded_edges(2.0, 2),
+    )
+    m = Mesh3D(edges=edges, degree=3)
+    y = m.node_coords[:, 1]
+    assert np.isclose(m.integrate(y), 2.0 * 2.0 * 2.0, rtol=1e-11)  # int y = L^3/2*...
+    # int over box of y dy = Lx*Lz*(Ly^2/2) = 2*2*2 = 8... recompute:
+    assert np.isclose(m.integrate(y), 2.0 * 2.0 * (2.0**2 / 2.0), rtol=1e-11)
+
+
+def test_boundary_mask_counts():
+    m = uniform_mesh((1.0, 1.0, 1.0), (2, 2, 2), degree=2)
+    n = 5  # nodes per axis
+    expected_interior = (n - 2) ** 3
+    assert m.free.size == expected_interior
+
+
+def test_mixed_periodicity_boundary():
+    m = uniform_mesh((1.0, 1.0, 1.0), (2, 2, 2), degree=2, pbc=(False, False, True))
+    nx, ny, nz = m.nnodes_axis
+    assert (nx, ny, nz) == (5, 5, 4)
+    # Dirichlet only on x/y faces
+    assert m.free.size == (nx - 2) * (ny - 2) * nz
+
+
+def test_bloch_phases_gamma_none_and_wrap_location():
+    m = uniform_mesh((1.0, 1.0, 1.0), (2, 2, 2), degree=2, pbc=(True, False, False))
+    assert m.bloch_phases((0.0, 0.0, 0.0)) is None
+    ph = m.bloch_phases((0.25, 0.0, 0.0))
+    assert ph.shape == (m.ncells, m.nodes_per_cell)
+    # only entries wrapping the x boundary carry a phase
+    off = np.abs(ph - 1.0) > 1e-14
+    assert off.any()
+    assert np.allclose(np.abs(ph), 1.0)
+    with pytest.raises(ValueError):
+        m.bloch_phases((0.0, 0.5, 0.0))  # k along non-periodic axis
+
+
+def test_gradient_recovery_linear_field():
+    m = uniform_mesh((1.0, 1.0, 1.0), (2, 2, 2), degree=3)
+    r = m.node_coords
+    f = 2.0 * r[:, 0] - 0.5 * r[:, 1] + 4.0 * r[:, 2]
+    g = m.gradient(f)
+    assert np.allclose(g, [2.0, -0.5, 4.0], atol=1e-9)
+
+
+def test_divergence_of_linear_vector_field():
+    m = uniform_mesh((1.0, 1.0, 1.0), (2, 2, 2), degree=3)
+    r = m.node_coords
+    vec = np.stack([r[:, 0], 2 * r[:, 1], -r[:, 2]], axis=1)
+    div = m.divergence(vec)
+    assert np.allclose(div, 2.0, atol=1e-9)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    nc=st.tuples(*(st.integers(1, 3),) * 3),
+    p=st.integers(1, 4),
+)
+def test_mass_diag_positive_and_sums_to_volume(nc, p):
+    """Property: assembled mass is positive and integrates the volume."""
+    L = (1.0, 1.5, 0.5)
+    m = uniform_mesh(L, nc, degree=p)
+    assert np.all(m.mass_diag > 0)
+    assert np.isclose(m.mass_diag.sum(), np.prod(L), rtol=1e-11)
+
+
+def test_invalid_edges_raise():
+    with pytest.raises(ValueError):
+        Mesh3D(edges=(np.array([0.0]),) * 3, degree=2)
+    with pytest.raises(ValueError):
+        Mesh3D(edges=(np.array([0.0, 1.0, 0.5]),) * 3, degree=2)

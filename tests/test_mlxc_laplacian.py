@@ -1,0 +1,137 @@
+"""MLXC-L: the Laplacian-descriptor functional (paper future-work hook)."""
+
+import numpy as np
+import pytest
+
+from repro.atoms.pseudo import AtomicConfiguration
+from repro.core import DFTCalculation, SCFOptions
+from repro.ml.nn import MLP
+from repro.xc.gga import PBE
+from repro.xc.lda import LDA
+from repro.xc.mlxc_laplacian import LAPLACIAN_LAYERS, MLXCLaplacian
+
+
+def test_architecture_validation():
+    with pytest.raises(ValueError):
+        MLXCLaplacian(network=MLP((3, 5, 1)))
+    m = MLXCLaplacian(seed=0)
+    assert m.network.layer_sizes == LAPLACIAN_LAYERS
+
+
+def test_q_descriptor_changes_energy_density():
+    """Unlike semilocal forms, e_xc responds to the density Laplacian."""
+    m = MLXCLaplacian(seed=1)
+    ru = rd = np.array([0.3])
+    sig = np.array([0.01])
+    zero = np.zeros(1)
+    e0 = m.exc_density_lap(ru, rd, sig, zero, sig, zero, zero)
+    e1 = m.exc_density_lap(ru, rd, sig, zero, sig, np.array([0.5]), np.array([0.5]))
+    assert not np.isclose(e0[0], e1[0], atol=1e-10)
+
+
+def test_scaling_prefactor_preserved():
+    """The rho^(4/3) phi prefactor structure carries over from Eq. 3."""
+    m = MLXCLaplacian(seed=2)
+    ru = rd = np.array([0.4])
+    zero = np.zeros(1)
+    e1 = m.exc_density_lap(ru, rd, zero, zero, zero, zero, zero)
+    m.network.weights[-1] *= 3.0
+    m.network.biases[-1] *= 3.0
+    e3 = m.exc_density_lap(ru, rd, zero, zero, zero, zero, zero)
+    assert np.isclose(e3[0], 3 * e1[0], rtol=1e-12)
+
+
+def test_bootstrap_matches_reference_at_any_q():
+    """Fitting a q-independent reference teaches F to ignore q."""
+    m = MLXCLaplacian.bootstrapped_from(LDA(), epochs=150, n_samples=1200, seed=0)
+    rng = np.random.default_rng(3)
+    rho = 10.0 ** rng.uniform(-2, 0.5, 30)
+    zero = np.zeros(30)
+    e_ref = LDA().exc_density(rho / 2, rho / 2)
+    for lap in (zero, np.full(30, 0.3) * rho):
+        e_ml = m.exc_density_lap(rho / 2, rho / 2, zero, zero, zero, lap, lap)
+        rel = np.abs(e_ml - e_ref) / np.abs(e_ref)
+        assert np.median(rel) < 0.25
+
+
+@pytest.mark.slow
+def test_mlxc_laplacian_deploys_self_consistently():
+    """The Laplacian functional runs a full SCF to a sane ground state."""
+    config = AtomicConfiguration(["He"], [[0, 0, 0]])
+    seed_calc = DFTCalculation(
+        config, xc=PBE(), padding=8.0, cells_per_axis=3, degree=3
+    )
+    res_pbe = seed_calc.run()
+    m = MLXCLaplacian.bootstrapped_from(PBE(), epochs=200, n_samples=1500)
+    res = DFTCalculation(
+        seed_calc.config, xc=m, mesh=seed_calc.mesh,
+        options=SCFOptions(max_iterations=80, density_tol=5e-5),
+    ).run()
+    assert res.converged
+    assert np.isclose(float(seed_calc.mesh.integrate(res.rho)), 2.0, atol=1e-8)
+    # bootstrapped from PBE: lands near the PBE ground state
+    assert abs(res.energy - res_pbe.energy) < 0.1
+
+
+# ----- trainer --------------------------------------------------------------
+@pytest.fixture(scope="module")
+def lap_sample():
+    from repro.fem.mesh import uniform_mesh
+    from repro.ml.training import assemble_sample
+
+    mesh = uniform_mesh((8.0, 8.0, 8.0), (3, 3, 3), degree=3)
+    r2 = np.sum((mesh.node_coords - 4.0) ** 2, axis=1)
+    rho = np.exp(-r2 / 2.0)
+    rho *= 2.0 / float(mesh.integrate(rho))
+    spin = 0.5 * np.stack([rho, rho], axis=1)
+    v_t, exc_t = PBE().potential_and_energy(mesh, spin)
+    return assemble_sample("toy", mesh, spin, v_t, exc_t)
+
+
+def test_laplacian_trainer_gradient_matches_fd(lap_sample):
+    """Exact parameter gradients through the adjoint-Laplacian term."""
+    from repro.ml.training import MLXCLaplacianTrainer
+
+    tr = MLXCLaplacianTrainer([lap_sample], MLXCLaplacian(seed=5))
+    losses, grad = tr.loss_and_grad()
+    assert losses["total"] > 0
+    net = tr.functional.network
+    theta = net.get_params()
+    rng = np.random.default_rng(1)
+    for i in rng.choice(theta.size, 4, replace=False):
+        h = 1e-6
+        tp = theta.copy(); tp[i] += h
+        net.set_params(tp); lp = tr.loss()["total"]
+        tm = theta.copy(); tm[i] -= h
+        net.set_params(tm); lm = tr.loss()["total"]
+        fd = (lp - lm) / (2 * h)
+        assert np.isclose(grad[i], fd, rtol=1e-4, atol=1e-9), i
+    net.set_params(theta)
+
+
+def test_laplacian_trainer_reduces_loss(lap_sample):
+    from repro.ml.training import MLXCLaplacianTrainer
+
+    tr = MLXCLaplacianTrainer([lap_sample], MLXCLaplacian(seed=8))
+    hist = tr.train(epochs=30, lr=3e-3)
+    assert hist[-1]["total"] < 0.5 * hist[0]["total"]
+
+
+def test_mesh_adjoint_identities():
+    """<v, grad f> == <grad_adj v, f> and the composed Laplacian adjoint."""
+    from repro.fem.mesh import uniform_mesh
+
+    mesh = uniform_mesh((3.0, 2.0, 2.0), (2, 2, 2), degree=3)
+    rng = np.random.default_rng(0)
+    f = rng.normal(size=mesh.nnodes)
+    v = rng.normal(size=(mesh.nnodes, 3))
+    assert np.isclose(
+        float(np.sum(v * mesh.gradient(f))),
+        float(np.dot(mesh.gradient_adjoint(v), f)),
+        rtol=1e-10,
+    )
+    a = rng.normal(size=mesh.nnodes)
+    lap_f = mesh.divergence(mesh.gradient(f))
+    lap_adj_a = mesh.gradient_adjoint(mesh.divergence_adjoint(a))
+    assert np.isclose(float(np.dot(a, lap_f)), float(np.dot(lap_adj_a, f)),
+                      rtol=1e-10)

@@ -1,0 +1,90 @@
+"""Forces from the separable nonlocal projectors."""
+
+import numpy as np
+import pytest
+
+from repro.atoms.nonlocal_psp import NonlocalProjector, model_projectors
+from repro.atoms.pseudo import AtomicConfiguration
+from repro.core import DFTCalculation, SCFOptions
+from repro.core.forces import hellmann_feynman_forces, nonlocal_forces
+from repro.fem.mesh import uniform_mesh
+from repro.xc.lda import LDA
+
+L = 16.0
+
+
+def test_projector_derivative_formula_exact():
+    """d<beta|psi>/dR against FD with frozen psi (no SCF noise)."""
+    mesh = uniform_mesh((L,) * 3, (4, 4, 4), degree=4)
+    sq = np.sqrt(mesh.mass_diag[mesh.free])
+    pts = mesh.node_coords[mesh.free]
+    rng = np.random.default_rng(0)
+    psi = rng.normal(size=mesh.ndof)
+    psi /= np.linalg.norm(psi)
+    center = np.array([L / 2, L / 2, L / 2])
+    sigma, D = 1.1, 0.3
+
+    def e_nl(c):
+        beta = NonlocalProjector(tuple(c), D, sigma).evaluate(pts)
+        return D * float((sq * beta) @ psi) ** 2
+
+    # analytic: dE/dR = 2 D <dbeta/dR|psi><beta|psi>
+    beta = NonlocalProjector(tuple(center), D, sigma).evaluate(pts)
+    b = sq * beta
+    over = float(b @ psi)
+    dB = b[:, None] * (pts - center) / sigma**2
+    grad = 2.0 * D * (dB.T @ psi) * over
+    h = 1e-5
+    for ax in range(3):
+        cp = center.copy(); cp[ax] += h
+        cm = center.copy(); cm[ax] -= h
+        fd = (e_nl(cp) - e_nl(cm)) / (2 * h)
+        assert np.isclose(grad[ax], fd, rtol=1e-5, atol=1e-10), ax
+
+
+def test_nonlocal_forces_zero_for_symmetric_atom():
+    mesh = uniform_mesh((L,) * 3, (4, 4, 4), degree=4)
+    cfg = AtomicConfiguration(["He"], [[L / 2, L / 2, L / 2]])
+    projs = model_projectors(cfg)
+    res = DFTCalculation(
+        cfg, xc=LDA(), mesh=mesh, nonlocal_projectors=projs
+    ).run()
+    F = nonlocal_forces(mesh, cfg, res)
+    assert np.abs(F).max() < 1e-6
+
+
+def test_nonlocal_forces_newton_third_law_and_fd():
+    """Total (local + nonlocal) forces track the discrete energy gradient."""
+    mesh = uniform_mesh((L,) * 3, (5, 5, 5), degree=5)
+    opts = SCFOptions(max_iterations=80, density_tol=1e-8, energy_tol=1e-11)
+
+    def run(d):
+        cfg = AtomicConfiguration(
+            ["He", "He"],
+            [[L / 2 - d / 2, L / 2, L / 2], [L / 2 + d / 2, L / 2, L / 2]],
+        )
+        projs = model_projectors(cfg)
+        res = DFTCalculation(
+            cfg, xc=LDA(), mesh=mesh, nonlocal_projectors=projs, options=opts
+        ).run()
+        return cfg, res
+
+    d0, h = 3.0, 0.02
+    cfg, res = run(d0)
+    F = hellmann_feynman_forces(mesh, cfg, res.v_tot) + nonlocal_forces(
+        mesh, cfg, res
+    )
+    assert np.allclose(F[0] + F[1], 0.0, atol=1e-5)  # Newton's third law
+    _, rp = run(d0 + 2 * h)
+    _, rm = run(d0 - 2 * h)
+    fd = -(rp.energy - rm.energy) / (4 * h)
+    assert np.isclose(F[1, 0], fd, rtol=0.12)  # discretization-level accord
+
+
+def test_nonlocal_forces_without_projectors_is_zero():
+    mesh = uniform_mesh((L,) * 3, (3, 3, 3), degree=3)
+    cfg = AtomicConfiguration(["H", "H"], [[L / 2 - 0.7, L / 2, L / 2],
+                                           [L / 2 + 0.7, L / 2, L / 2]])
+    res = DFTCalculation(cfg, xc=LDA(), mesh=mesh).run()
+    F = nonlocal_forces(mesh, cfg, res)  # H carries no model channel
+    assert np.allclose(F, 0.0)

@@ -1,0 +1,94 @@
+"""Separable nonlocal pseudopotential projectors (Kleinman-Bylander form)."""
+
+import numpy as np
+import pytest
+
+from repro.atoms.nonlocal_psp import (
+    NonlocalProjector,
+    model_projectors,
+    projector_matrix,
+)
+from repro.atoms.pseudo import AtomicConfiguration
+from repro.core import DFTCalculation
+from repro.fem.assembly import KSOperator
+from repro.fem.mesh import uniform_mesh
+from repro.xc.lda import LDA
+
+
+@pytest.fixture(scope="module")
+def he_setup():
+    cfg = AtomicConfiguration(["He"], [[0, 0, 0]])
+    calc0 = DFTCalculation(cfg, xc=LDA(), padding=8.0, cells_per_axis=3, degree=3)
+    res0 = calc0.run()
+    return calc0, res0
+
+
+def test_projector_normalization_continuum():
+    p = NonlocalProjector(center=(0, 0, 0), coefficient=0.2, sigma=1.0)
+    mesh = uniform_mesh((14.0,) * 3, (4, 4, 4), degree=5)
+    beta = p.evaluate(mesh.node_coords - 7.0 + np.asarray(p.center))
+    norm = float(mesh.integrate(beta**2))
+    assert np.isclose(norm, 1.0, atol=5e-3)
+
+
+def test_model_projectors_skip_hydrogen():
+    cfg = AtomicConfiguration(["H", "He"], [[0, 0, 0], [3, 0, 0]])
+    projs = model_projectors(cfg)
+    assert len(projs) == 1  # H carries no model core channel
+    assert projs[0].coefficient > 0
+
+
+def test_operator_with_projectors_hermitian(he_setup):
+    calc0, res0 = he_setup
+    projs = model_projectors(calc0.config)
+    op = KSOperator(calc0.mesh, nonlocal_projectors=projs)
+    op.set_potential(res0.v_tot + res0.v_xc_spin[:, 0])
+    H = op.matrix()
+    assert np.allclose(H, H.T, atol=1e-12)
+    assert np.allclose(op.diagonal(), np.diag(H), atol=1e-11)
+
+
+def test_repulsive_projector_raises_energy(he_setup):
+    """A positive-definite V_nl must raise the variational ground state."""
+    calc0, res0 = he_setup
+    projs = model_projectors(calc0.config)
+    calc1 = DFTCalculation(
+        calc0.config, xc=LDA(), mesh=calc0.mesh, nonlocal_projectors=projs
+    )
+    res1 = calc1.run()
+    assert res1.converged
+    assert res1.energy > res0.energy
+    assert res1.energy - res0.energy < 0.5  # a perturbation, not a rewrite
+    assert res1.eigenvalues[0][0] > res0.eigenvalues[0][0]
+
+
+def test_projector_strength_scaling(he_setup):
+    """Energy shift grows monotonically with the projector strength."""
+    calc0, res0 = he_setup
+    shifts = []
+    for scale in (0.5, 1.0):
+        projs = model_projectors(calc0.config, strength_scale=scale)
+        res = DFTCalculation(
+            calc0.config, xc=LDA(), mesh=calc0.mesh, nonlocal_projectors=projs
+        ).run()
+        shifts.append(res.energy - res0.energy)
+    assert 0 < shifts[0] < shifts[1]
+
+
+def test_projector_matrix_shapes(he_setup):
+    calc0, _ = he_setup
+    projs = model_projectors(calc0.config)
+    B, D = projector_matrix(calc0.mesh, projs)
+    assert B.shape == (calc0.mesh.ndof, len(projs))
+    assert D.shape == (len(projs),)
+    # empty projector list degrades gracefully
+    B0, D0 = projector_matrix(calc0.mesh, [])
+    assert B0.shape == (calc0.mesh.ndof, 0)
+
+
+def test_out_of_domain_atoms_rejected(he_setup):
+    """The prebuilt-mesh + unshifted-config footgun raises clearly."""
+    calc0, _ = he_setup
+    bad = AtomicConfiguration(["He"], [[0.0, 0.0, 0.0]])  # at the box corner
+    with pytest.raises(ValueError, match="mesh domain"):
+        DFTCalculation(bad, xc=LDA(), mesh=calc0.mesh)

@@ -1,0 +1,103 @@
+"""Occupations (Fermi-Dirac, mu search, entropy) and density mixing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mixing import AndersonMixer, LinearMixer
+from repro.core.occupations import fermi_dirac, find_fermi_level, smearing_entropy
+
+
+def test_fermi_dirac_limits():
+    eps = np.array([-1.0, 0.0, 1.0])
+    f = fermi_dirac(eps, mu=0.0, temperature=1e-3)
+    assert f[0] > 0.999 and f[2] < 1e-3
+    assert np.isclose(f[1], 0.5)
+    # zero temperature: sharp step
+    f0 = fermi_dirac(eps, mu=0.0, temperature=0.0)
+    assert f0[0] == 1.0 and f0[1] == 0.5 and f0[2] == 0.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n_e=st.integers(min_value=1, max_value=10),
+    seed=st.integers(0, 10**6),
+    T=st.floats(min_value=1e-4, max_value=5e-2),
+)
+def test_fermi_level_conserves_electron_count(n_e, seed, T):
+    """Property: weighted occupations always sum to the electron count."""
+    rng = np.random.default_rng(seed)
+    evals = [np.sort(rng.normal(size=12)), np.sort(rng.normal(size=12))]
+    weights = [0.4, 0.6]
+    occ = find_fermi_level(evals, weights, n_e, T)
+    total = sum(w * o.sum() for w, o in zip(weights, occ.occupations))
+    assert np.isclose(total, n_e, atol=1e-9)
+    assert occ.entropy >= 0.0
+
+
+def test_fermi_level_insulator_vs_metal():
+    evals = [np.array([-2.0, -1.0, 1.0, 2.0])]
+    occ = find_fermi_level(evals, [1.0], 4.0, 1e-3)
+    assert -1.0 < occ.fermi_level < 1.0
+    assert np.allclose(occ.occupations[0], [2, 2, 0, 0], atol=1e-6)
+    # metallic: degenerate states at mu share electrons
+    evals_m = [np.array([-1.0, 0.0, 0.0, 1.0])]
+    occ_m = find_fermi_level(evals_m, [1.0], 4.0, 1e-3)
+    assert np.allclose(occ_m.occupations[0][1:3], 1.0, atol=1e-6)
+    assert occ_m.entropy > 0.5  # two half-filled states
+
+
+def test_too_many_electrons_raises():
+    with pytest.raises(ValueError):
+        find_fermi_level([np.array([0.0])], [1.0], 5.0, 1e-3)
+
+
+def test_smearing_entropy_peak_at_half_filling():
+    assert np.isclose(smearing_entropy(np.array([0.5])), np.log(2))
+    assert smearing_entropy(np.array([0.0, 1.0])) == 0.0
+
+
+def test_linear_mixer():
+    m = LinearMixer(alpha=0.5)
+    out = m.mix(np.zeros(3), np.ones(3))
+    assert np.allclose(out, 0.5)
+    with pytest.raises(ValueError):
+        LinearMixer(alpha=0.0)
+
+
+def test_anderson_fixed_point_linear_problem():
+    """Anderson reaches the fixed point of an affine map much faster."""
+    rng = np.random.default_rng(3)
+    n = 20
+    A = 0.6 * rng.random((n, n)) / n  # contraction
+    b = rng.random(n)
+    x_star = np.linalg.solve(np.eye(n) - A, b)
+
+    def run(mixer, iters):
+        x = np.zeros(n)
+        for _ in range(iters):
+            x = mixer.mix(x, A @ x + b)
+        return np.linalg.norm(x - x_star)
+
+    err_lin = run(LinearMixer(0.5), 12)
+    err_and = run(AndersonMixer(0.5, history=6), 12)
+    assert err_and < 0.05 * err_lin
+
+
+def test_anderson_reset_clears_history():
+    m = AndersonMixer(0.4, history=3)
+    m.mix(np.zeros(4), np.ones(4))
+    assert len(m._res) == 1
+    m.reset()
+    assert len(m._res) == 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10**6))
+def test_anderson_first_step_is_linear(seed):
+    rng = np.random.default_rng(seed)
+    a, b = rng.random(5), rng.random(5)
+    am = AndersonMixer(0.3).mix(a, b)
+    lm = LinearMixer(0.3).mix(a, b)
+    assert np.allclose(am, lm)

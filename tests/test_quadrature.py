@@ -1,0 +1,66 @@
+"""Quadrature rules: exactness, symmetry, positivity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fem.quadrature import gauss_legendre, gauss_lobatto_legendre
+
+
+@pytest.mark.parametrize("n", range(2, 12))
+def test_gll_weights_sum_to_two(n):
+    _, w = gauss_lobatto_legendre(n)
+    assert np.isclose(w.sum(), 2.0, atol=1e-13)
+
+
+@pytest.mark.parametrize("n", range(2, 12))
+def test_gll_endpoints_and_symmetry(n):
+    x, w = gauss_lobatto_legendre(n)
+    assert x[0] == -1.0 and x[-1] == 1.0
+    assert np.allclose(x, -x[::-1], atol=1e-13)
+    assert np.allclose(w, w[::-1], atol=1e-13)
+    assert np.all(w > 0)
+
+
+@pytest.mark.parametrize("n", range(2, 10))
+def test_gll_exactness_degree(n):
+    """GLL with n points integrates monomials up to degree 2n-3 exactly."""
+    x, w = gauss_lobatto_legendre(n)
+    for d in range(0, 2 * n - 2):
+        exact = 0.0 if d % 2 == 1 else 2.0 / (d + 1)
+        assert np.isclose(np.dot(w, x**d), exact, atol=1e-12), d
+
+
+@pytest.mark.parametrize("n", range(1, 10))
+def test_gauss_exactness_degree(n):
+    x, w = gauss_legendre(n)
+    for d in range(0, 2 * n):
+        exact = 0.0 if d % 2 == 1 else 2.0 / (d + 1)
+        assert np.isclose(np.dot(w, x**d), exact, atol=1e-12), d
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=3, max_value=9),
+    coeffs=st.lists(
+        st.floats(min_value=-5, max_value=5, allow_nan=False), min_size=1, max_size=6
+    ),
+)
+def test_gll_integrates_random_polynomials(n, coeffs):
+    """Property: any polynomial of degree <= 2n-3 is integrated exactly."""
+    deg = min(len(coeffs) - 1, 2 * n - 3)
+    c = np.asarray(coeffs[: deg + 1])
+    x, w = gauss_lobatto_legendre(n)
+    quad = np.dot(w, np.polynomial.polynomial.polyval(x, c))
+    exact = sum(
+        ci * (0.0 if i % 2 else 2.0 / (i + 1)) for i, ci in enumerate(c)
+    )
+    assert np.isclose(quad, exact, rtol=1e-10, atol=1e-10)
+
+
+def test_invalid_sizes_raise():
+    with pytest.raises(ValueError):
+        gauss_lobatto_legendre(1)
+    with pytest.raises(ValueError):
+        gauss_legendre(0)

@@ -1,0 +1,159 @@
+"""XC functionals: reference values, derivative consistency, limits."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xc.base import RHO_FLOOR
+from repro.xc.gga import PBE
+from repro.xc.lda import LDA, pw92_ec
+
+
+def _fd_vrho(func, rho_up, rho_dn, sigmas=None, h=1e-6):
+    """Central finite difference of exc_density w.r.t. rho_up and rho_dn."""
+    args = lambda u, d: (u, d) if sigmas is None else (u, d, *sigmas)
+    d_up = (
+        func.exc_density(*args(rho_up + h, rho_dn))
+        - func.exc_density(*args(rho_up - h, rho_dn))
+    ) / (2 * h)
+    d_dn = (
+        func.exc_density(*args(rho_up, rho_dn + h))
+        - func.exc_density(*args(rho_up, rho_dn - h))
+    ) / (2 * h)
+    return d_up, d_dn
+
+
+def test_lda_exchange_uniform_gas_value():
+    """epsilon_x = -(3/4)(3 rho / pi)^(1/3) for the unpolarized gas."""
+    rho = np.array([0.5])
+    f = LDA()
+    e = f.exc_density(rho / 2, rho / 2)
+    # exchange part only: subtract correlation
+    rs = (3.0 / (4 * np.pi * rho)) ** (1 / 3)
+    ec = rho * pw92_ec(rs, 0.0)
+    ex = e - ec
+    expected = -(3.0 / 4.0) * (3.0 / np.pi) ** (1 / 3) * rho ** (4 / 3)
+    assert np.allclose(ex, expected, rtol=1e-12)
+
+
+def test_pw92_reference_values():
+    """PW92 epsilon_c at rs=2, zeta=0 and zeta=1 (literature values)."""
+    assert np.isclose(pw92_ec(np.array([2.0]), 0.0)[0], -0.0448, atol=2e-4)
+    assert np.isclose(pw92_ec(np.array([2.0]), 1.0)[0], -0.0240, atol=2e-3)
+    # high-density limit is logarithmically divergent and negative
+    assert pw92_ec(np.array([0.01]), 0.0)[0] < -0.1
+
+
+def test_lda_spin_scaling_exchange_limit():
+    """Fully polarized exchange: E_x[rho,0] = E_x^unpol[2 rho]/2."""
+    f = LDA()
+    rho = np.array([0.3])
+    rs = (3.0 / (4 * np.pi * rho)) ** (1 / 3)
+    e_pol = f.exc_density(rho, np.zeros(1)) - rho * pw92_ec(rs, 1.0)
+    e_ref = 0.5 * (
+        f.exc_density(rho, rho) - 2 * rho * pw92_ec(
+            (3.0 / (8 * np.pi * rho)) ** (1 / 3), 0.0
+        )
+    )
+    assert np.allclose(e_pol, e_ref, rtol=1e-10)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    ru=st.floats(min_value=1e-3, max_value=2.0),
+    rd=st.floats(min_value=1e-3, max_value=2.0),
+)
+def test_lda_complex_step_matches_fd(ru, rd):
+    """Property: complex-step vrho agrees with finite differences."""
+    f = LDA()
+    out = f.evaluate(np.array([ru]), np.array([rd]))
+    du, dd = _fd_vrho(f, np.array([ru]), np.array([rd]))
+    assert np.isclose(out.vrho[0, 0], du[0], rtol=1e-5, atol=1e-8)
+    assert np.isclose(out.vrho[0, 1], dd[0], rtol=1e-5, atol=1e-8)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    ru=st.floats(min_value=5e-3, max_value=2.0),
+    rd=st.floats(min_value=5e-3, max_value=2.0),
+    guu=st.floats(min_value=0.0, max_value=1.0),
+    gdd=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_pbe_complex_step_matches_fd(ru, rd, guu, gdd):
+    f = PBE()
+    gud = 0.5 * np.sqrt(guu * gdd)  # consistent cross term
+    sig = (np.array([guu]), np.array([gud]), np.array([gdd]))
+    out = f.evaluate(np.array([ru]), np.array([rd]), *sig)
+    du, dd = _fd_vrho(f, np.array([ru]), np.array([rd]), sigmas=sig)
+    assert np.isclose(out.vrho[0, 0], du[0], rtol=1e-4, atol=1e-7)
+    assert np.isclose(out.vrho[0, 1], dd[0], rtol=1e-4, atol=1e-7)
+    # vsigma via FD
+    h = 1e-7
+    e_plus = f.exc_density(np.array([ru]), np.array([rd]), sig[0] + h, sig[1], sig[2])
+    e_minus = f.exc_density(np.array([ru]), np.array([rd]), sig[0] - h, sig[1], sig[2])
+    assert np.isclose(out.vsigma[0, 0], (e_plus - e_minus)[0] / (2 * h),
+                      rtol=1e-4, atol=1e-7)
+
+
+def test_pbe_reduces_to_lda_at_zero_gradient():
+    rho_u = np.array([0.2, 0.7])
+    rho_d = np.array([0.4, 0.1])
+    zero = np.zeros(2)
+    e_pbe = PBE().exc_density(rho_u, rho_d, zero, zero, zero)
+    e_lda = LDA().exc_density(rho_u, rho_d)
+    assert np.allclose(e_pbe, e_lda, rtol=1e-10)
+
+
+def test_pbe_exchange_enhancement_bounded():
+    """F_x is bounded by 1 + kappa (Lieb-Oxford-motivated bound)."""
+    f = PBE()
+    rho = np.full(5, 0.3)
+    sig = np.geomspace(1e-3, 1e3, 5)
+    e = f.exc_density(rho / 2, rho / 2, sig / 4, sig / 4, sig / 4)
+    rs_e = LDA().exc_density(rho / 2, rho / 2)
+    # exchange grows with gradient but saturates: |e| <= |e_lda| * (1+kappa) + |ec|
+    assert np.all(np.abs(e) < np.abs(rs_e) * 2.2)
+
+
+def test_vacuum_region_is_zeroed():
+    f = LDA()
+    out = f.evaluate(np.zeros(3), np.zeros(3))
+    assert np.all(out.exc == 0.0) and np.all(out.vrho == 0.0)
+
+
+def test_xc_negative_everywhere_reasonable_density():
+    f = PBE()
+    rho = np.geomspace(1e-3, 10, 20)
+    zero = np.zeros(20)
+    e = f.exc_density(rho / 2, rho / 2, zero, zero, zero)
+    assert np.all(e < 0)
+
+
+def test_potential_and_energy_on_mesh_lda_vs_direct():
+    """Mesh-level wrapper integrates exc and returns pointwise vrho (LDA)."""
+    from repro.fem.mesh import uniform_mesh
+
+    mesh = uniform_mesh((4.0, 4.0, 4.0), (2, 2, 2), degree=3)
+    r2 = np.sum((mesh.node_coords - 2.0) ** 2, axis=1)
+    rho = np.exp(-r2)
+    spin = 0.5 * np.stack([rho, rho], axis=1)
+    v, exc = LDA().potential_and_energy(mesh, spin)
+    out = LDA().evaluate(spin[:, 0], spin[:, 1])
+    assert np.allclose(v, out.vrho)
+    assert np.isclose(exc, float(mesh.integrate(out.exc)))
+
+
+def test_gga_potential_includes_divergence_term():
+    """PBE nodal potential differs from bare vrho (divergence term active)."""
+    from repro.fem.mesh import uniform_mesh
+
+    mesh = uniform_mesh((6.0, 6.0, 6.0), (3, 3, 3), degree=3)
+    r2 = np.sum((mesh.node_coords - 3.0) ** 2, axis=1)
+    rho = np.exp(-r2) + 1e-6
+    spin = 0.5 * np.stack([rho, rho], axis=1)
+    v, _ = PBE().potential_and_energy(mesh, spin)
+    g = mesh.gradient(rho)
+    s = np.einsum("ij,ij->i", g, g)
+    out = PBE().evaluate(spin[:, 0], spin[:, 1], s / 4, s / 4, s / 4)
+    assert not np.allclose(v[:, 0], out.vrho[:, 0], atol=1e-8)
