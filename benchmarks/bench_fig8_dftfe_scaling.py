@@ -8,7 +8,6 @@ host; the node-count scaling goes through the machine model.
 
 import time
 
-import numpy as np
 import pytest
 
 from repro.hpc.machine import FRONTIER, PERLMUTTER

@@ -19,7 +19,6 @@ import argparse
 import pathlib
 import time
 
-import numpy as np
 
 from repro.core import DFTCalculation, SCFOptions
 from repro.pipeline import (

@@ -10,6 +10,9 @@ Commands
     Modeled Table-3 style breakdown for a paper workload.
 ``systems``
     Build and tabulate the paper's benchmark systems.
+``lint [PATH ...]``
+    Run the reprolint numerical-safety static analyzer (defaults to
+    ``src/``).  Flags are forwarded to ``repro.tools.lint``.
 """
 
 from __future__ import annotations
@@ -87,6 +90,12 @@ def _cmd_systems(_args) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "lint":
+        # pass-through subcommand: all flags belong to the linter's own CLI
+        from repro.tools.lint import main as lint_main
+
+        return lint_main(argv[1:] or ["src"])
     ap = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = ap.add_subparsers(dest="command", required=True)
     sub.add_parser("info")
@@ -100,6 +109,7 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("system", nargs="?", default="TwinDislocMgY(C)")
     p.add_argument("--nodes", type=int, default=8000)
     sub.add_parser("systems")
+    sub.add_parser("lint", help="run the reprolint static analyzer")
     args = ap.parse_args(argv)
     return {
         "info": _cmd_info,

@@ -15,8 +15,6 @@ and per-length dislocation energy differences such as the paper's
 
 from __future__ import annotations
 
-import numpy as np
-
 __all__ = [
     "interaction_energy",
     "formation_energy",

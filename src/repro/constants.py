@@ -1,3 +1,3 @@
 """Shared numerical constants (import-cycle-free home)."""
 
-RHO_FLOOR = 1e-12  #: densities below this are treated as vacuum
+RHO_FLOOR: float = 1e-12  #: densities below this are treated as vacuum

@@ -48,7 +48,7 @@ def band_structure(
     ground states (ignored distinction for spin-restricted ones).
     """
     v_eff = scf_result.v_tot + scf_result.v_xc_spin[:, spin]
-    bands = np.empty((len(kpoints), nbands))
+    bands = np.empty((len(kpoints), nbands), dtype=float)
     for ik, kfrac in enumerate(kpoints):
         op = KSOperator(mesh, kfrac=kfrac)
         op.set_potential(v_eff)

@@ -36,8 +36,8 @@ def density_from_channels(
     ``weight`` (k-point weight) and ``spin`` (0 or 1; spin-restricted
     channels pass spin=None and their density is split evenly).
     """
-    rho = np.zeros((mesh.nnodes, 2))
-    dinv2 = np.zeros(mesh.nnodes)
+    rho = np.zeros((mesh.nnodes, 2), dtype=float)
+    dinv2 = np.zeros(mesh.nnodes, dtype=float)
     dinv2[mesh.free] = 1.0 / mesh.mass_diag[mesh.free]
     timer = ledger.timed("DC") if ledger is not None else _null()
     with timer:
@@ -49,7 +49,7 @@ def density_from_channels(
             if ledger is not None:
                 is_c = np.issubdtype(psi.dtype, np.complexfloating)
                 ledger.add("DC", gemm_flops(psi.shape[0], 1, psi.shape[1], is_c))
-            full = np.zeros(mesh.nnodes)
+            full = np.zeros(mesh.nnodes, dtype=float)
             full[mesh.free] = dens_free
             full *= dinv2 * ch.weight
             if ch.spin is None:
@@ -69,7 +69,7 @@ def atomic_guess_density(
     ``width_scale * r_c``; the total is rescaled so the mesh integral equals
     the electron count, then split (1+p)/2 : (1-p)/2 between spins.
     """
-    rho = np.zeros(mesh.nnodes)
+    rho = np.zeros(mesh.nnodes, dtype=float)
     shifts = config._image_shifts()
     for el, pos in zip(config.elements, config.positions):
         sigma = width_scale * el.r_c

@@ -44,7 +44,7 @@ def hellmann_feynman_forces(
     coords = mesh.node_coords
     w = mesh.mass_diag
     shifts = config._image_shifts()
-    forces = np.zeros((config.natoms, 3))
+    forces = np.zeros((config.natoms, 3), dtype=float)
     for a, (el, pos) in enumerate(zip(config.elements, config.positions)):
         sigma2 = el.r_c**2 / 2.0
         norm = el.valence / (2.0 * np.pi * sigma2) ** 1.5
@@ -75,7 +75,7 @@ def nonlocal_forces(mesh, config: AtomicConfiguration, result) -> np.ndarray:
 
     projectors = model_projectors(config)
     if not projectors:
-        return np.zeros((config.natoms, 3))
+        return np.zeros((config.natoms, 3), dtype=float)
     # map projectors back to their parent atoms (model_projectors order:
     # per atom, per image shift)
     shifts = config._image_shifts()
@@ -86,7 +86,7 @@ def nonlocal_forces(mesh, config: AtomicConfiguration, result) -> np.ndarray:
         parents.extend([a] * len(shifts))
     sq = np.sqrt(mesh.mass_diag[mesh.free])
     pts = mesh.node_coords[mesh.free]
-    forces = np.zeros((config.natoms, 3))
+    forces = np.zeros((config.natoms, 3), dtype=float)
     for p, parent in zip(projectors, parents):
         beta = p.evaluate(pts)
         d = pts - np.asarray(p.center)

@@ -70,7 +70,7 @@ class Electrostatics:
         Gaussians so that the Poisson problem sees an exactly neutral system.
         """
         mesh, config = self.mesh, self.config
-        rho_c = np.zeros(mesh.nnodes)
+        rho_c = np.zeros(mesh.nnodes, dtype=float)
         shifts = config._image_shifts()
         for el, pos in zip(config.elements, config.positions):
             sigma = el.r_c / np.sqrt(2.0)

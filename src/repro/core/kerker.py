@@ -56,7 +56,7 @@ class KerkerPreconditioner:
         self._free = mesh.free
 
     def _apply_helmholtz(self, x_free: np.ndarray) -> np.ndarray:
-        full = np.zeros(self.mesh.nnodes)
+        full = np.zeros(self.mesh.nnodes, dtype=float)
         full[self._free] = x_free
         out = self.stiff.apply_full(full) + self.k0**2 * self._mass * full
         return out[self._free]
@@ -73,6 +73,6 @@ class KerkerPreconditioner:
         )
         if not ok:  # pragma: no cover - extremely well-conditioned solve
             return r
-        u = np.zeros(self.mesh.nnodes)
+        u = np.zeros(self.mesh.nnodes, dtype=float)
         u[self._free] = u_free
         return r - self.k0**2 * u

@@ -42,7 +42,7 @@ class AndersonMixer:
     regularization for robustness on near-degenerate histories).
     """
 
-    def __init__(self, alpha: float = 0.3, history: int = 5, reg: float = 1e-12):
+    def __init__(self, alpha: float = 0.3, history: int = 5, reg: float = 1e-12) -> None:
         if history < 1:
             raise ValueError("history must be >= 1")
         self.alpha = alpha
@@ -72,6 +72,9 @@ class AndersonMixer:
         except np.linalg.LinAlgError:
             x = ones / m
         c = x / x.sum()
-        rho_bar = sum(ci * ri for ci, ri in zip(c, self._rho))
-        res_bar = sum(ci * fi for ci, fi in zip(c, self._res))
+        rho_bar = np.zeros_like(rho_in)
+        res_bar = np.zeros_like(residual)
+        for ci, ri, fi in zip(c, self._rho, self._res):
+            rho_bar += ci * ri
+            res_bar += ci * fi
         return rho_bar + self.alpha * res_bar

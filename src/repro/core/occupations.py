@@ -80,9 +80,10 @@ def find_fermi_level(
 
     spread = max(50.0 * max(temperature, 1e-3), 1.0)
     lo, hi = float(all_eps.min()) - spread, float(all_eps.max()) + spread
-    mu = brentq(count, lo, hi, xtol=1e-13)
+    mu = float(brentq(count, lo, hi, xtol=1e-13))
 
-    occs, entropy = [], 0.0
+    occs: list[np.ndarray] = []
+    entropy = 0.0
     for e, w in zip(eigenvalues, weights):
         f = fermi_dirac(e, mu, temperature)
         occs.append(degeneracy * f)

@@ -12,12 +12,15 @@ from __future__ import annotations
 import numpy as np
 
 from repro.hpc.flops import gemm_flops
+from repro.tools.contracts import dtype_contract, shape_contract
 
 from .orthonorm import _null, blocked_rotate, _f32
 
 __all__ = ["projected_hamiltonian", "rayleigh_ritz"]
 
 
+@shape_contract(X=("n", "nvec"), HX=("n", "nvec"), returns=("nvec", "nvec"))
+@dtype_contract(X="inexact", preserves="X")
 def projected_hamiltonian(
     X: np.ndarray,
     HX: np.ndarray,
@@ -41,8 +44,12 @@ def projected_hamiltonian(
                 sj = slice(j, min(j + block_size, nvec))
                 offdiag = j > i
                 if mixed_precision and offdiag:
+                    # RR-P whitelisted downcast: off-diagonal projected-
+                    # Hamiltonian blocks vanish as the subspace converges to
+                    # an invariant one, bounding the FP32 error by the
+                    # residual norm (paper Sec 5.4.1).
                     blk = (
-                        X[:, si].astype(f32).conj().T @ HX[:, sj].astype(f32)
+                        X[:, si].astype(f32).conj().T @ HX[:, sj].astype(f32)  # reprolint: disable=R001
                     ).astype(X.dtype)
                     prec = "fp32"
                 else:

@@ -27,6 +27,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.tools.contracts import shape_contract
+
 from .mesh import Mesh3D
 
 __all__ = ["CellStiffness", "KSOperator"]
@@ -56,10 +58,8 @@ class CellStiffness:
         self.mesh = mesh
         self.ledger = ledger
         ref = mesh.ref
-        n1 = ref.n1d
         w = ref.weights1d
         khat = ref.stiff1d
-        eye = np.eye(n1)
         dw = np.diag(w)
 
         def _kron3(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
@@ -117,6 +117,7 @@ class CellStiffness:
         np.add.at(out, flat, Yc.reshape(-1, B))
         return out
 
+    @shape_contract(Xc=("ncells", "npc", "b"), returns=("ncells", "npc", "b"))
     def apply_cells(self, Xc: np.ndarray) -> np.ndarray:
         """Batched cell GEMM: ``Y_c = K_c X_c`` over all cells at once."""
         ncells, npc, B = Xc.shape
@@ -148,7 +149,7 @@ class CellStiffness:
             self._coef[:, a, None] * np.diag(self._A[a])[None, :]
             for a in range(3)
         )  # (ncells, npc)
-        out = np.zeros(self.mesh.nnodes)
+        out = np.zeros(self.mesh.nnodes, dtype=float)
         np.add.at(out, self.mesh.conn.ravel(), diag_cell.ravel())
         return out
 
@@ -190,7 +191,7 @@ class KSOperator:
         self.stiff = CellStiffness(mesh, kfrac=kfrac, ledger=ledger)
         self.dtype = self.stiff.dtype
         self._dinvsqrt = 1.0 / np.sqrt(mesh.mass_diag)
-        self._v_free = np.zeros(mesh.ndof)
+        self._v_free = np.zeros(mesh.ndof, dtype=float)
         self.ledger = ledger
         self._nl_B = None
         self._nl_D = None

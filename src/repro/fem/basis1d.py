@@ -53,7 +53,6 @@ def derivative_matrix(nodes: np.ndarray) -> np.ndarray:
     row-sum-zero property (derivative of the constant function vanishes).
     """
     nodes = np.asarray(nodes, dtype=float)
-    n = nodes.size
     w = barycentric_weights(nodes)
     diff = nodes[:, None] - nodes[None, :]
     np.fill_diagonal(diff, 1.0)

@@ -15,8 +15,9 @@ from __future__ import annotations
 
 import time
 from collections import defaultdict
+from collections.abc import Iterator
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = [
     "FlopLedger",
@@ -60,7 +61,7 @@ class FlopLedger:
             raise ValueError(f"unknown precision {precision!r}")
 
     @contextmanager
-    def timed(self, kernel: str):
+    def timed(self, kernel: str) -> Iterator["FlopLedger"]:
         """Time a code region and charge its wall time to ``kernel``."""
         t0 = time.perf_counter()
         try:

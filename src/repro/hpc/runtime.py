@@ -9,11 +9,9 @@ numbers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
-import numpy as np
-
-from .machine import FRONTIER, PERLMUTTER, SUMMIT, MachineSpec
+from .machine import MachineSpec
 from .perfmodel import KernelTime, ModelOptions, kernel_times
 
 __all__ = [

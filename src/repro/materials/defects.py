@@ -148,7 +148,6 @@ def reflection_twin(
         (top - plane_position) / max(top - plane_position, 1e-12)
     )
     # remove near-coincident interface atoms (keep the lower-half copy)
-    order = np.argsort(~upper, kind="stable")  # upper first so lower kept last
     keep = np.ones(config.natoms, dtype=bool)
     from scipy.spatial import cKDTree
 

@@ -15,7 +15,9 @@ architecture (5 hidden layers x 80 neurons).  Three properties matter here:
 
 from __future__ import annotations
 
+import hashlib
 import io
+import zipfile
 from dataclasses import dataclass
 
 import numpy as np
@@ -138,19 +140,47 @@ class MLP:
         )
 
     # -- persistence ---------------------------------------------------------
+    #: arrays every weights archive must contain (``checksum`` is optional
+    #: for archives written before it was introduced)
+    WEIGHT_KEYS = ("layer_sizes", "alpha", "params")
+
     def save(self, path: str) -> None:
+        params = self.get_params()
+        digest = hashlib.sha256(params.tobytes()).digest()
         np.savez(
             path,
             layer_sizes=np.array(self.layer_sizes),
             alpha=self.alpha,
-            params=self.get_params(),
+            params=params,
+            checksum=np.frombuffer(digest, dtype=np.uint8),
         )
 
     @classmethod
     def load(cls, path: str | io.IOBase) -> "MLP":
-        data = np.load(path)
+        try:
+            data = np.load(path)
+        except (zipfile.BadZipFile, ValueError, OSError) as err:
+            raise ValueError(
+                f"invalid MLP weights file {path!r}: not a readable .npz "
+                f"archive ({err}); regenerate it with "
+                "`python examples/mlxc_training.py --save`"
+            ) from err
+        missing = [k for k in cls.WEIGHT_KEYS if k not in data.files]
+        if missing:
+            raise ValueError(
+                f"invalid MLP weights file {path!r}: missing array(s) {missing}"
+            )
+        params = np.asarray(data["params"], dtype=float)
+        if "checksum" in data.files:
+            digest = hashlib.sha256(params.tobytes()).digest()
+            stored = bytes(np.asarray(data["checksum"], dtype=np.uint8))
+            if stored != digest:
+                raise ValueError(
+                    f"corrupt MLP weights file {path!r}: SHA-256 checksum "
+                    "mismatch (file was truncated or re-encoded)"
+                )
         net = cls(tuple(int(s) for s in data["layer_sizes"]), alpha=float(data["alpha"]))
-        net.set_params(data["params"])
+        net.set_params(params)
         return net
 
 

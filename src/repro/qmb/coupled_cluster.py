@@ -58,7 +58,6 @@ def restricted_hartree_fock(
         raise ValueError("restricted HF needs an even electron count")
     n_occ = n_electrons // 2
     h, eri = ints.h, ints.eri
-    n = ints.n_orb
     # core guess
     evals, C = np.linalg.eigh(h)
     D = 2.0 * C[:, :n_occ] @ C[:, :n_occ].T
@@ -158,7 +157,6 @@ def ccd(
     """
     f, asym, no = _spin_orbital_tensors(ints, hf)
     nso = f.size
-    nv = nso - no
     o, v = slice(0, no), slice(no, nso)
     oovv = asym[o, o, v, v]
     denom = (

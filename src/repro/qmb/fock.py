@@ -82,7 +82,6 @@ def fock_space_ground_state(
     occ_counts_a = np.zeros(dim, dtype=int)
     occ_counts_b = np.zeros(dim, dtype=int)
     for state in range(dim):
-        bits = state
         # kron ordering: mode 0 is the most significant bit
         for m in range(n_modes):
             if (state >> (n_modes - 1 - m)) & 1:

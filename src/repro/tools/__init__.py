@@ -1,0 +1,35 @@
+"""Correctness tooling for the DFT-FE-MLXC reproduction.
+
+Two complementary layers guard the numerical invariants the paper's
+performance results depend on (mixed-precision block structure,
+deterministic collectives, explicit dtypes):
+
+* :mod:`repro.tools.lint` — ``reprolint``, an AST-based static analyzer
+  with a rule registry, per-rule severities, ``# reprolint: disable=...``
+  suppressions and JSON/text output.  Run it as
+  ``python -m repro.tools.lint src/`` or ``python -m repro lint``.
+* :mod:`repro.tools.contracts` — ``@shape_contract`` / ``@dtype_contract``
+  runtime decorators used in the hot kernels to pin down array shapes and
+  to assert that FP32-blocked kernels never leak reduced precision into
+  their FP64 results.
+"""
+
+from __future__ import annotations
+
+from .contracts import (
+    ContractViolation,
+    contracts_enabled,
+    disable_contracts,
+    dtype_contract,
+    enable_contracts,
+    shape_contract,
+)
+
+__all__ = [
+    "ContractViolation",
+    "contracts_enabled",
+    "disable_contracts",
+    "dtype_contract",
+    "enable_contracts",
+    "shape_contract",
+]

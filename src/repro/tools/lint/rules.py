@@ -1,0 +1,576 @@
+"""The reprolint rule set.
+
+Each rule targets a failure mode this codebase has actually had to defend
+against (see DESIGN.md "Correctness tooling"):
+
+========  ==========================================================
+R001      precision-losing ``astype`` downcasts outside the
+          whitelisted mixed-precision kernels
+R002      complex-step differentiation helpers that perturb with a
+          complex step but never extract ``.real``/``.imag``
+R003      nondeterminism (legacy ``np.random`` global RNG, unseeded
+          generators, set-order iteration) in distributed code
+R004      mutable / array default arguments
+R005      bare ``except`` and silently swallowed exceptions
+R006      ``np.zeros``/``np.empty`` without an explicit ``dtype=`` in
+          the numerical core
+R007      unused module-level imports
+R008      unused local variables
+========  ==========================================================
+
+Add a rule by subclassing :class:`~repro.tools.lint.Rule`, decorating it
+with :func:`~repro.tools.lint.register`, and yielding
+``ctx.finding(self, node, message)`` from ``check``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from . import FileContext, Finding, Rule, register
+
+__all__ = [
+    "DowncastOutsideWhitelist",
+    "ComplexStepLeak",
+    "NondeterministicCollective",
+    "MutableDefaultArgument",
+    "SwallowedException",
+    "ImplicitDtypeAllocation",
+    "UnusedImport",
+    "UnusedVariable",
+]
+
+#: attribute / string spellings of reduced-precision dtypes
+_LOWPREC_ATTRS = frozenset(
+    {"float32", "complex64", "float16", "half", "single", "csingle"}
+)
+_LOWPREC_STRINGS = frozenset(
+    {"float32", "complex64", "float16", "single", "f4", "c8", "f2"}
+)
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """Render a Name/Attribute chain as ``a.b.c`` (None if not a chain)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _functions(tree: ast.Module) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+# ----------------------------------------------------------------------------
+@register
+class DowncastOutsideWhitelist(Rule):
+    """R001: ``.astype`` to FP32/complex64 silently drops precision.
+
+    The paper's speedups rely on FP32 *blocks* inside CholGS-S/CholGS-O,
+    RR-P/RR-SR and the halo exchange — and nowhere else.  Every downcast
+    must either be one of those whitelisted kernels (carrying a
+    ``# reprolint: disable=R001`` annotation documenting why the precision
+    loss is bounded) or is a bug.
+    """
+
+    rule_id = "R001"
+    severity = "error"
+    description = (
+        "astype() downcast to a reduced-precision dtype outside the "
+        "whitelisted mixed-precision kernels"
+    )
+
+    def _lowprec_names(self, tree: ast.Module) -> set[str]:
+        """Names assigned from a reduced-precision dtype expression."""
+        names: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name) and self._is_lowprec(
+                    node.value, names
+                ):
+                    names.add(target.id)
+        return names
+
+    def _is_lowprec(self, node: ast.AST, names: set[str]) -> bool:
+        if isinstance(node, ast.Attribute) and node.attr in _LOWPREC_ATTRS:
+            return True
+        if isinstance(node, ast.Name) and node.id in names:
+            return True
+        if isinstance(node, ast.Constant) and node.value in _LOWPREC_STRINGS:
+            return True
+        if isinstance(node, ast.IfExp):
+            return self._is_lowprec(node.body, names) or self._is_lowprec(
+                node.orelse, names
+            )
+        if isinstance(node, ast.Call):
+            dotted = _dotted(node.func)
+            if dotted is not None:
+                leaf = dotted.rsplit(".", maxsplit=1)[-1]
+                # np.dtype("float32"), and helper factories like _f32(...)
+                if leaf == "dtype" and node.args and self._is_lowprec(
+                    node.args[0], names
+                ):
+                    return True
+                if "f32" in leaf or "c64" in leaf:
+                    return True
+        return False
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        names = self._lowprec_names(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "astype"
+                and node.args
+                and self._is_lowprec(node.args[0], names)
+            ):
+                yield ctx.finding(
+                    self,
+                    node,
+                    "reduced-precision astype() outside a whitelisted "
+                    "mixed-precision kernel; annotate intentional downcasts "
+                    "with `# reprolint: disable=R001`",
+                )
+
+
+# ----------------------------------------------------------------------------
+@register
+class ComplexStepLeak(Rule):
+    """R002: complex-step perturbation without real-part restoration.
+
+    Complex-step differentiation (``f'(x) = Im f(x + ih)/h``) perturbs an
+    argument with ``x + 1j*h``.  A helper that does so but never touches
+    ``.real``/``.imag`` (or ``np.real``/``np.imag``) returns a silently
+    complex array — downstream code then carries an O(h) imaginary part
+    into real-dtype stores, or crashes much later on a dtype mismatch.
+    """
+
+    rule_id = "R002"
+    severity = "error"
+    description = (
+        "function perturbs with a complex step but never extracts "
+        ".real/.imag before returning"
+    )
+
+    #: substrings marking a variable as a differentiation step size
+    _STEP_HINTS = ("step", "eps", "delta", "pert")
+
+    @classmethod
+    def _is_step_mult(cls, node: ast.AST) -> bool:
+        """``1j * h``-shaped: a complex constant times a step-named variable."""
+        has_complex = False
+        has_step_name = False
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Constant) and isinstance(sub.value, complex):
+                has_complex = True
+            name = None
+            if isinstance(sub, ast.Name):
+                name = sub.id
+            elif isinstance(sub, ast.Attribute):
+                name = sub.attr
+            if name is not None:
+                low = name.lower()
+                if low == "h" or any(hint in low for hint in cls._STEP_HINTS):
+                    has_step_name = True
+        return has_complex and has_step_name
+
+    def _perturbation(self, fn: ast.AST) -> ast.AST | None:
+        """First ``a + 1j*h``-shaped expression inside ``fn``.
+
+        Matches an Add/Sub whose one side is either a *tiny* literal
+        complex step (``x + 1e-30j``) or a complex constant multiplied by a
+        step-named variable (``x + 1j * h``).  Unit-magnitude complex
+        constructions — Bloch phases, random complex matrices
+        (``A + 1j * B``) — are intentionally complex, not perturbations.
+        """
+        for node in ast.walk(fn):
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                for side in (node.left, node.right):
+                    if (
+                        isinstance(side, ast.Constant)
+                        and isinstance(side.value, complex)
+                        and 0 < abs(side.value) < 1e-6
+                    ):
+                        return node
+                    if isinstance(side, ast.BinOp) and isinstance(
+                        side.op, ast.Mult
+                    ) and self._is_step_mult(side):
+                        return node
+        return None
+
+    @staticmethod
+    def _restores_real(fn: ast.AST) -> bool:
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Attribute) and node.attr in ("real", "imag"):
+                return True
+            if isinstance(node, ast.Call):
+                dotted = _dotted(node.func)
+                if dotted is not None and dotted.rsplit(".", 1)[-1] in (
+                    "real",
+                    "imag",
+                    "real_if_close",
+                ):
+                    return True
+                # explicit dtype management (np.asarray(x, dtype=...),
+                # x.astype(...)) counts as restoring the output dtype
+                if any(kw.arg == "dtype" for kw in node.keywords):
+                    return True
+        return False
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for fn in _functions(ctx.tree):
+            pert = self._perturbation(fn)
+            if pert is not None and not self._restores_real(fn):
+                yield ctx.finding(
+                    self,
+                    pert,
+                    f"'{fn.name}' perturbs with a complex step but never "
+                    "extracts .real/.imag — the O(h) imaginary part leaks "
+                    "to the caller",
+                )
+
+
+# ----------------------------------------------------------------------------
+@register
+class NondeterministicCollective(Rule):
+    """R003: nondeterminism in distributed / partitioning code.
+
+    The virtual cluster's owner-sum halo protocol promises bitwise-identical
+    results across ranks, and partitions must be stable across runs so the
+    communication metering is reproducible.  Legacy ``np.random.*`` global
+    state, unseeded generators and set-order iteration all break that.
+    """
+
+    rule_id = "R003"
+    severity = "error"
+    description = (
+        "nondeterministic construct (legacy np.random, unseeded Generator, "
+        "set-order iteration) in distributed code"
+    )
+    path_filters = ("hpc/", "fem/partition.py")
+
+    @staticmethod
+    def _is_set_expr(node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "set"
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                dotted = _dotted(node.func)
+                if dotted in (None, ""):
+                    continue
+                parts = dotted.split(".")
+                if len(parts) >= 3 and parts[-2] == "random" and parts[-3] in (
+                    "np",
+                    "numpy",
+                ):
+                    if parts[-1] == "default_rng":
+                        if not node.args and not node.keywords:
+                            yield ctx.finding(
+                                self,
+                                node,
+                                "np.random.default_rng() without a seed is "
+                                "nondeterministic across runs",
+                            )
+                    else:
+                        yield ctx.finding(
+                            self,
+                            node,
+                            f"legacy global RNG np.random.{parts[-1]}() is "
+                            "nondeterministic shared state; use a seeded "
+                            "np.random.default_rng(seed)",
+                        )
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                if self._is_set_expr(node.iter):
+                    yield ctx.finding(
+                        self,
+                        node.iter,
+                        "iterating a set has hash-order-dependent "
+                        "(nondeterministic) ordering; sort it first",
+                    )
+            elif isinstance(node, ast.comprehension):
+                if self._is_set_expr(node.iter):
+                    yield ctx.finding(
+                        self,
+                        node.iter,
+                        "comprehension iterates a set in hash order; sort it "
+                        "first for deterministic results",
+                    )
+
+
+# ----------------------------------------------------------------------------
+@register
+class MutableDefaultArgument(Rule):
+    """R004: mutable (or array) default argument values.
+
+    Defaults are evaluated once at ``def`` time; list/dict/set/ndarray
+    defaults are shared across calls, so in-place mutation in one SCF run
+    contaminates the next.
+    """
+
+    rule_id = "R004"
+    severity = "error"
+    description = "mutable or array default argument (evaluated once, shared)"
+
+    _CTOR_NAMES = frozenset(
+        {
+            "list", "dict", "set", "bytearray", "deque", "defaultdict",
+            "Counter", "OrderedDict", "array", "zeros", "ones", "empty",
+            "full", "asarray",
+        }
+    )
+
+    def _is_mutable(self, node: ast.AST) -> bool:
+        if isinstance(
+            node,
+            (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp),
+        ):
+            return True
+        if isinstance(node, ast.Call):
+            dotted = _dotted(node.func)
+            if dotted is not None and dotted.rsplit(".", 1)[-1] in self._CTOR_NAMES:
+                return True
+        return False
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for fn in _functions(ctx.tree):
+            args = fn.args
+            named = args.posonlyargs + args.args
+            for arg, default in zip(named[len(named) - len(args.defaults):],
+                                    args.defaults):
+                if self._is_mutable(default):
+                    yield ctx.finding(
+                        self,
+                        default,
+                        f"default for '{arg.arg}' in '{fn.name}' is mutable "
+                        "and shared across calls; default to None instead",
+                    )
+            for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+                if default is not None and self._is_mutable(default):
+                    yield ctx.finding(
+                        self,
+                        default,
+                        f"default for '{arg.arg}' in '{fn.name}' is mutable "
+                        "and shared across calls; default to None instead",
+                    )
+
+
+# ----------------------------------------------------------------------------
+@register
+class SwallowedException(Rule):
+    """R005: bare ``except`` / exception handlers that swallow silently.
+
+    SCF and MINRES loops signal convergence failure through exceptions and
+    result flags; a bare ``except:`` (which also catches KeyboardInterrupt)
+    or a handler whose body is only ``pass`` turns a diverged solve into
+    silently wrong numbers.
+    """
+
+    rule_id = "R005"
+    severity = "error"
+    description = "bare except or exception handler that swallows silently"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield ctx.finding(
+                    self,
+                    node,
+                    "bare 'except:' catches SystemExit/KeyboardInterrupt and "
+                    "hides convergence failures; name the exception",
+                )
+                continue
+            body = [
+                stmt for stmt in node.body
+                if not (
+                    isinstance(stmt, ast.Expr)
+                    and isinstance(stmt.value, ast.Constant)
+                )
+            ]
+            if all(isinstance(stmt, (ast.Pass, ast.Continue)) for stmt in body):
+                yield ctx.finding(
+                    self,
+                    node,
+                    "exception is swallowed without handling or logging; "
+                    "record the failure or re-raise",
+                )
+
+
+# ----------------------------------------------------------------------------
+@register
+class ImplicitDtypeAllocation(Rule):
+    """R006: allocations without an explicit dtype in the numerical core.
+
+    ``np.zeros(n)`` defaults to float64 — until someone feeds the result
+    into a complex (Bloch) code path and the imaginary part is silently
+    discarded on assignment.  In ``core/`` and the assembly kernels every
+    allocation states its dtype.
+    """
+
+    rule_id = "R006"
+    severity = "error"
+    description = (
+        "np.zeros/np.empty without an explicit dtype= in the numerical core"
+    )
+    path_filters = ("core/", "fem/assembly.py")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted is None:
+                continue
+            parts = dotted.split(".")
+            if len(parts) != 2 or parts[0] not in ("np", "numpy"):
+                continue
+            if parts[1] not in ("zeros", "empty"):
+                continue
+            has_dtype = len(node.args) >= 2 or any(
+                kw.arg == "dtype" for kw in node.keywords
+            )
+            if not has_dtype:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"np.{parts[1]}() without explicit dtype= in the "
+                    "numerical core; state the dtype (float or the "
+                    "operator's complex dtype)",
+                )
+
+
+# ----------------------------------------------------------------------------
+@register
+class UnusedImport(Rule):
+    """R007: module-level imports that are never referenced.
+
+    Dead imports hide real dependencies and (for heavy modules) slow cold
+    start.  ``__init__.py`` re-export modules are exempt unless they define
+    ``__all__``, in which case imports must appear there or in code.
+    """
+
+    rule_id = "R007"
+    severity = "warning"
+    description = "module-level import is never used"
+
+    @staticmethod
+    def _exported(tree: ast.Module) -> set[str] | None:
+        """Names in ``__all__`` if present, else None."""
+        for node in tree.body:
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id == "__all__"
+                and isinstance(node.value, (ast.List, ast.Tuple))
+            ):
+                return {
+                    e.value
+                    for e in node.value.elts
+                    if isinstance(e, ast.Constant) and isinstance(e.value, str)
+                }
+        return None
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        exported = self._exported(ctx.tree)
+        if ctx.path.endswith("__init__.py") and exported is None:
+            return  # pure re-export module
+        used: set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Name):
+                used.add(node.id)
+        if exported:
+            used |= exported
+
+        for node in ctx.tree.body:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    if bound not in used:
+                        yield ctx.finding(
+                            self, node, f"'import {alias.name}' is unused"
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "__future__":
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    if bound not in used:
+                        mod = "." * node.level + (node.module or "")
+                        yield ctx.finding(
+                            self,
+                            node,
+                            f"'from {mod} import {alias.name}' is unused",
+                        )
+
+
+# ----------------------------------------------------------------------------
+@register
+class UnusedVariable(Rule):
+    """R008: local variables assigned but never read.
+
+    Usually a leftover from refactoring — or worse, a result that was meant
+    to be used (a computed correction that never makes it into the energy).
+    Underscore-prefixed names are exempt.
+    """
+
+    rule_id = "R008"
+    severity = "warning"
+    description = "local variable is assigned but never used"
+
+    _DYNAMIC = frozenset({"locals", "vars", "eval", "exec", "globals"})
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for fn in _functions(ctx.tree):
+            if any(
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in self._DYNAMIC
+                for node in ast.walk(fn)
+            ):
+                continue
+            loaded: set[str] = set()
+            augmented: set[str] = set()
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                    loaded.add(node.id)
+                elif isinstance(node, ast.AugAssign) and isinstance(
+                    node.target, ast.Name
+                ):
+                    augmented.add(node.target.id)
+            for node in ast.walk(fn):
+                if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+                    continue
+                target = node.targets[0]
+                if not isinstance(target, ast.Name):
+                    continue
+                name = target.id
+                if name.startswith("_") or name in loaded or name in augmented:
+                    continue
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"local variable '{name}' in '{fn.name}' is assigned but "
+                    "never used",
+                )

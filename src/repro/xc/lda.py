@@ -59,12 +59,10 @@ class LDA(XCFunctional):
 
     def exc_density(self, rho_up, rho_dn, *_unused):
         rho = rho_up + rho_dn
-        safe = np.maximum(np.real(rho), RHO_FLOOR)
         rho_s = np.where(np.real(rho) > RHO_FLOOR, rho, RHO_FLOOR)
         zeta = (rho_up - rho_dn) / rho_s
         rs = (3.0 / (4.0 * np.pi * rho_s)) ** (1.0 / 3.0)
         ex = lda_exchange_energy_density(rho_up, rho_dn)
         ec = rho_s * pw92_ec(rs, zeta)
         mask = np.real(rho) > RHO_FLOOR
-        del safe
         return np.where(mask, ex + ec, 0.0)

@@ -1,0 +1,12 @@
+"""R006 fixture (path-scoped under core/): implicit-dtype allocations."""
+
+import numpy as np
+
+
+def accumulate(n):
+    acc = np.zeros(n)  # expect: R006
+    return acc
+
+
+def workspace(shape):
+    return np.empty(shape)  # expect: R006

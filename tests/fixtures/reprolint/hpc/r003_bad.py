@@ -1,0 +1,22 @@
+"""R003 fixture (path-scoped under hpc/): nondeterministic constructs."""
+
+import numpy as np
+
+
+def legacy_rng(n):
+    return np.random.rand(n)  # expect: R003
+
+
+def unseeded_generator():
+    return np.random.default_rng()  # expect: R003
+
+
+def set_iteration(ranks):
+    order = []
+    for r in set(ranks):  # expect: R003
+        order.append(r)
+    return order
+
+
+def set_comprehension(ranks):
+    return [r * 2 for r in {1, 2, 3}]  # expect: R003

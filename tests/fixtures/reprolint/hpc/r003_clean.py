@@ -1,0 +1,14 @@
+"""R003 fixture (path-scoped under hpc/): deterministic equivalents."""
+
+import numpy as np
+
+
+def seeded_generator(seed):
+    return np.random.default_rng(seed)
+
+
+def sorted_set_iteration(ranks):
+    order = []
+    for r in sorted(set(ranks)):
+        order.append(r)
+    return order

@@ -1,0 +1,25 @@
+"""R001 fixture: precision-dropping astype downcasts (violations)."""
+
+import numpy as np
+
+
+def gram_offdiag(xi, xj):
+    blk = xi.astype(np.float32).T @ xj.astype(np.float32)  # expect: R001 R001
+    return blk.astype(xi.dtype)
+
+
+def halo_pack(buf):
+    f32 = np.float32
+    return buf.astype(f32)  # expect: R001
+
+
+def string_spelling(x):
+    return x.astype("complex64")  # expect: R001
+
+
+def _f32(dtype):
+    return np.dtype("float32")  # factory itself is fine
+
+
+def via_helper(x):
+    return x.astype(_f32(x.dtype))  # expect: R001

@@ -1,0 +1,16 @@
+"""R001 fixture: acceptable dtype handling (no violations)."""
+
+import numpy as np
+
+
+def upcast(x):
+    return x.astype(np.float64)
+
+
+def to_complex(x):
+    return x.astype(complex)
+
+
+def annotated_downcast(x):
+    # an intentional, documented mixed-precision block
+    return x.astype(np.float32).astype(x.dtype)  # reprolint: disable=R001

@@ -1,0 +1,12 @@
+"""R002 fixture: complex-step helpers that leak imaginary parts."""
+
+_CSTEP = 1e-30
+
+
+def leaky_derivative(f, x):
+    pert = x + 1j * _CSTEP  # expect: R002
+    return f(pert) / _CSTEP
+
+
+def leaky_literal_step(f, x):
+    return f(x + 1e-30j) / 1e-30  # expect: R002

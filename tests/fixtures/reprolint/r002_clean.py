@@ -1,0 +1,23 @@
+"""R002 fixture: correct complex-step usage and intentional complex math."""
+
+import numpy as np
+
+_CSTEP = 1e-30
+
+
+def complex_step_derivative(f, x):
+    return np.imag(f(x + 1j * _CSTEP)) / _CSTEP
+
+
+def restores_via_attribute(f, x):
+    out = f(x + 1j * _CSTEP)
+    return out.imag / _CSTEP
+
+
+def random_complex_matrix(rng, n):
+    # unit-magnitude complex construction is not a perturbation
+    return rng.standard_normal((n, n)) + 1j * rng.standard_normal((n, n))
+
+
+def bloch_phase(k):
+    return np.exp(2j * np.pi * k) * (1.0 + 0j)

@@ -1,0 +1,20 @@
+"""R004 fixture: mutable / array default arguments."""
+
+import numpy as np
+
+
+def list_default(history=[]):  # expect: R004
+    history.append(1)
+    return history
+
+
+def dict_default(cache={}):  # expect: R004
+    return cache
+
+
+def array_default(x=np.zeros(3)):  # expect: R004
+    return x
+
+
+def kwonly_default(*, seen=set()):  # expect: R004
+    return seen

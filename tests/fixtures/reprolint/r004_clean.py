@@ -1,0 +1,12 @@
+"""R004 fixture: safe defaults."""
+
+
+def none_default(history=None):
+    if history is None:
+        history = []
+    history.append(1)
+    return history
+
+
+def immutable_defaults(n=3, name="x", dims=(1, 2)):
+    return n, name, dims

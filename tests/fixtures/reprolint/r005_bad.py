@@ -1,0 +1,24 @@
+"""R005 fixture: bare excepts and silently swallowed failures."""
+
+
+def bare_except(solve):
+    try:
+        return solve()
+    except:  # expect: R005
+        return None
+
+
+def swallowed(solve):
+    try:
+        return solve()
+    except ValueError:  # expect: R005
+        pass
+
+
+def swallowed_with_docstring(solve):
+    for _ in range(3):
+        try:
+            return solve()
+        except RuntimeError:  # expect: R005
+            # silently retrying hides divergence
+            continue

@@ -1,0 +1,9 @@
+"""R007 fixture: unused module-level imports."""
+
+import json  # expect: R007
+import numpy as np
+from collections import deque  # expect: R007
+
+
+def use_numpy(x):
+    return np.asarray(x)

@@ -1,0 +1,10 @@
+"""R007 fixture: all imports used (including via __all__)."""
+
+import numpy as np
+from collections import deque
+
+__all__ = ["deque", "use_numpy"]
+
+
+def use_numpy(x):
+    return np.asarray(x)

@@ -1,0 +1,12 @@
+"""R008 fixture: locals assigned but never read."""
+
+
+def leftover(values):
+    total = sum(values)
+    count = len(values)  # expect: R008
+    return total
+
+
+def shadowed_result(solve, x):
+    correction = solve(x)  # expect: R008
+    return x

@@ -1,0 +1,19 @@
+"""R008 fixture: every local is consumed (or deliberately ignored)."""
+
+
+def all_used(values):
+    total = sum(values)
+    count = len(values)
+    return total / count
+
+
+def underscore_ignored(pair):
+    _unused, kept = pair
+    return kept
+
+
+def augmented(n):
+    acc = 0
+    for i in range(n):
+        acc += i
+    return acc

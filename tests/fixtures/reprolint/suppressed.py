@@ -1,0 +1,20 @@
+"""Suppression fixture: every violation below carries a disable pragma."""
+
+import numpy as np
+
+
+def downcast(x):
+    return x.astype(np.float32)  # reprolint: disable=R001
+
+
+def two_on_one_line(a={}, b=[]):  # reprolint: disable=R004
+    return a, b
+
+
+def comma_list(x):
+    unused = x.astype(np.float32)  # reprolint: disable=R001,R008
+    return x
+
+
+def blanket(x):
+    return x.astype("float32")  # reprolint: disable

@@ -5,7 +5,6 @@ import pytest
 
 from repro.qmb.coupled_cluster import ccd, ccsd, mp2_energy, restricted_hartree_fock
 from repro.qmb.fci import FCISolver
-from repro.qmb.integrals import OrbitalIntegrals
 
 
 @pytest.fixture(scope="module")

@@ -1,7 +1,6 @@
 """ChFES pieces: Lanczos bounds, Chebyshev filter, CholGS, Rayleigh-Ritz."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

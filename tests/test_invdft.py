@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from scipy.sparse.linalg import LinearOperator, minres
 
-from repro.invdft.adjoint import adjoint_rhs, potential_gradient, solve_adjoint
+from repro.invdft.adjoint import adjoint_rhs, potential_gradient
 from repro.invdft.minres import block_minres
 
 

@@ -90,6 +90,40 @@ def test_mlp_save_load_roundtrip(tmp_path):
     assert np.allclose(net.forward(X), net2.forward(X))
 
 
+def test_mlp_load_rejects_non_npz(tmp_path):
+    p = tmp_path / "garbage.npz"
+    p.write_bytes(b"this is not a zip archive")
+    with pytest.raises(ValueError, match="not a readable .npz"):
+        MLP.load(str(p))
+
+
+def test_mlp_load_rejects_missing_arrays(tmp_path):
+    p = str(tmp_path / "partial.npz")
+    np.savez(p, layer_sizes=np.array([3, 5, 1]))
+    with pytest.raises(ValueError, match="missing array"):
+        MLP.load(p)
+
+
+def test_mlp_load_rejects_tampered_params(tmp_path):
+    net = MLP((3, 5, 1), seed=3)
+    p = str(tmp_path / "net.npz")
+    net.save(p)
+    data = dict(np.load(p))
+    data["params"] = data["params"] + 1.0  # corrupt without breaking the zip
+    np.savez(p, **data)
+    with pytest.raises(ValueError, match="checksum"):
+        MLP.load(p)
+
+
+def test_mlp_load_accepts_legacy_archive_without_checksum(tmp_path):
+    net = MLP((3, 5, 1), seed=3)
+    p = str(tmp_path / "legacy.npz")
+    np.savez(p, layer_sizes=np.array(net.layer_sizes), alpha=net.alpha,
+             params=net.get_params())
+    X = np.random.default_rng(1).normal(size=(4, 3))
+    assert np.allclose(MLP.load(p).forward(X), net.forward(X))
+
+
 def test_adam_converges_on_quadratic():
     opt = Adam(lr=0.1)
     theta = np.array([5.0, -3.0])

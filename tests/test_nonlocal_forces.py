@@ -1,7 +1,6 @@
 """Forces from the separable nonlocal projectors."""
 
 import numpy as np
-import pytest
 
 from repro.atoms.nonlocal_psp import NonlocalProjector, model_projectors
 from repro.atoms.pseudo import AtomicConfiguration

@@ -1,7 +1,6 @@
 """Poisson solver: Gaussian charges, multipole BCs, periodic neutrality."""
 
 import numpy as np
-import pytest
 from scipy.special import erf
 
 from repro.fem.mesh import uniform_mesh

@@ -1,11 +1,9 @@
 """XC functionals: reference values, derivative consistency, limits."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.xc.base import RHO_FLOOR
 from repro.xc.gga import PBE
 from repro.xc.lda import LDA, pw92_ec
 
