@@ -1,0 +1,101 @@
+"""Machine-readable benchmark results: the ``BENCH_<name>.json`` writer.
+
+Every ``bench_*`` module routes its headline numbers through
+:func:`write_result`, which appends a schema-versioned record to
+``benchmarks/results/BENCH_<name>.json``.  Records carry the benchmark
+name, its parameters, the measured wall time, any derived metrics, the
+git commit the run came from, and a timestamp — enough to diff runs
+across commits without re-parsing stdout tables.
+
+The file layout is one JSON array per benchmark name; each invocation
+appends one record.  ``tests/test_obs.py`` validates records against
+:data:`RECORD_KEYS`.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import pathlib
+import subprocess
+from typing import Any
+
+__all__ = ["RESULTS_DIR", "RECORD_KEYS", "SCHEMA", "write_result", "read_results"]
+
+SCHEMA = "repro-bench/1"
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+#: required keys of every benchmark record, in canonical order
+RECORD_KEYS = (
+    "schema",
+    "name",
+    "params",
+    "wall_seconds",
+    "metrics",
+    "git_sha",
+    "timestamp",
+)
+
+
+def _git_sha() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=pathlib.Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except OSError:
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def bench_seconds(benchmark) -> float | None:
+    """Mean wall time from a pytest-benchmark fixture, if it has stats."""
+    try:
+        return float(benchmark.stats.stats.mean)
+    except AttributeError:
+        return None
+
+
+def write_result(
+    name: str,
+    params: dict[str, Any] | None = None,
+    wall_seconds: float | None = None,
+    metrics: dict[str, Any] | None = None,
+) -> pathlib.Path:
+    """Append one schema'd record to ``results/BENCH_<name>.json``.
+
+    ``metrics`` holds the derived quantities the benchmark exists to
+    measure (errors, rates, byte counts, ...); ``params`` the inputs that
+    define the configuration.  Both must be JSON-serializable.
+    """
+    record = {
+        "schema": SCHEMA,
+        "name": name,
+        "params": params or {},
+        "wall_seconds": wall_seconds,
+        "metrics": metrics or {},
+        "git_sha": _git_sha(),
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+    }
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    records = read_results(name)
+    records.append(record)
+    path.write_text(json.dumps(records, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def read_results(name: str) -> list[dict[str, Any]]:
+    """All stored records for ``name`` (empty list if none or unreadable)."""
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    if not path.exists():
+        return []
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return []
+    return data if isinstance(data, list) else []

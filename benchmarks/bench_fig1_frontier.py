@@ -7,10 +7,10 @@ repository's own implementations (FCI for Level 4, the ChFES DFT solver
 for Levels 1-2/MLXC).
 """
 
-import time
-
 import numpy as np
 import pytest
+
+from repro.obs import Stopwatch
 
 #: (method, scaling exponent or "exp", typical accuracy mHa/atom)
 LEVELS = [
@@ -41,14 +41,13 @@ def measured_anchors():
     from repro.core import DFTCalculation
     from repro.xc.lda import LDA
 
-    t0 = time.perf_counter()
+    watch = Stopwatch()
     ref = qmb_reference("H2")
-    t_fci = time.perf_counter() - t0
-    t0 = time.perf_counter()
+    t_fci = watch.restart()
     DFTCalculation(
         ref.calc.config, xc=LDA(), mesh=ref.calc.mesh
     ).run()
-    t_dft = time.perf_counter() - t0
+    t_dft = watch.elapsed()
     return t_fci, t_dft
 
 

@@ -6,13 +6,14 @@ Level 2 PBE") is verified with *real* SCF runs of both functionals on this
 host; the node-count scaling goes through the machine model.
 """
 
-import time
-
 import pytest
 
 from repro.hpc.machine import FRONTIER, PERLMUTTER
 from repro.hpc.perfmodel import ModelOptions
 from repro.hpc.runtime import PAPER_WORKLOADS, strong_scaling
+from repro.obs import Stopwatch
+
+from _harness import bench_seconds, write_result
 
 
 def test_fig8_modeled_curves(benchmark, table_printer):
@@ -33,6 +34,18 @@ def test_fig8_modeled_curves(benchmark, table_printer):
             ["nodes", "s/SCF", "efficiency"],
             [(n, t, e) for n, t, e in curve],
         )
+    write_result(
+        "fig8_scaling",
+        params={"workload": "YbCdQC"},
+        wall_seconds=bench_seconds(benchmark),
+        metrics={
+            machine: [
+                {"nodes": n, "scf_seconds": t, "efficiency": e}
+                for n, t, e in curve
+            ]
+            for machine, curve in curves.items()
+        },
+    )
     perl = curves["Perlmutter"]
     assert perl[2][2] > 0.5  # ~80% at the paper's 560-node sweet spot
     assert 15 < perl[-1][1] < 40  # ~25 s/SCF at 1120 nodes
@@ -53,9 +66,9 @@ def test_fig8_mlxc_overhead_vs_pbe(benchmark):
             config, xc=xc, padding=8.0, cells_per_axis=4, degree=4,
             options=SCFOptions(max_iterations=25, density_tol=1e-5),
         )
-        t0 = time.perf_counter()
+        watch = Stopwatch()
         res = calc.run()
-        return time.perf_counter() - t0, res
+        return watch.elapsed(), res
 
     def compare():
         t_pbe, _ = run(PBE())
@@ -66,6 +79,16 @@ def test_fig8_mlxc_overhead_vs_pbe(benchmark):
     print(
         f"\n--- Fig 8 (measured): SCF walltime PBE {t_pbe:.1f}s vs "
         f"MLXC {t_mlxc:.1f}s (ratio {t_mlxc / t_pbe:.2f})"
+    )
+    write_result(
+        "fig8_mlxc_overhead",
+        params={"molecule": "H2", "max_iterations": 25},
+        wall_seconds=bench_seconds(benchmark),
+        metrics={
+            "pbe_seconds": t_pbe,
+            "mlxc_seconds": t_mlxc,
+            "ratio": t_mlxc / t_pbe,
+        },
     )
     # On this laptop-scale system (M ~ 5e3, N ~ 5) the O(M) neural XC
     # evaluation is visible next to the O(M N^2) eigensolver; at the

@@ -15,6 +15,8 @@ from repro.fem.assembly import CellStiffness
 from repro.fem.mesh import uniform_mesh
 from repro.hpc.cluster import VirtualCluster
 
+from _harness import bench_seconds, write_result
+
 
 @pytest.fixture(scope="module")
 def gram_input(rng):
@@ -27,6 +29,12 @@ def test_blocked_gram_precision_speed(benchmark, gram_input, mixed):
     ref = gram_input.T @ gram_input
     rel = np.abs(S - ref).max() / np.abs(ref).max()
     benchmark.extra_info["max_rel_error"] = float(rel)
+    write_result(
+        "mixed_precision_gram",
+        params={"shape": list(gram_input.shape), "block": 32, "mixed": mixed},
+        wall_seconds=bench_seconds(benchmark),
+        metrics={"max_rel_error": float(rel)},
+    )
     assert rel < (1e-12 if not mixed else 1e-5)
 
 
@@ -58,6 +66,18 @@ def test_fp32_halo_traffic_and_accuracy(benchmark, table_printer):
         "Sec 5.4.2 (measured): halo precision vs traffic and error",
         ["fp32 halo", "p2p bytes", "max rel err"],
         rows,
+    )
+    write_result(
+        "mixed_precision_halo",
+        params={"nranks": 8, "nvec": 16, "degree": 4},
+        wall_seconds=bench_seconds(benchmark),
+        metrics={
+            ("fp32" if fp32 else "fp64"): {
+                "p2p_bytes": bytes_,
+                "max_rel_error": rel,
+            }
+            for fp32, bytes_, rel in rows
+        },
     )
     (f64, b64, e64), (f32, b32, e32) = rows
     assert b32 == pytest.approx(0.5 * b64)

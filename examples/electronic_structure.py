@@ -15,7 +15,7 @@ Usage::
 """
 
 import tempfile
-import time
+from repro.obs import Stopwatch
 
 import numpy as np
 
@@ -31,7 +31,7 @@ from repro.xc import LDA
 
 def bulk_mg_dos() -> None:
     print("=== bulk HCP Mg: ground state + density of states")
-    t0 = time.time()
+    t0 = Stopwatch()
     lat, sym, frac = hcp_orthorhombic()
     cfg = supercell(lat, sym, frac, (1, 1, 1), pbc=(True, True, True))
     calc = DFTCalculation(
@@ -42,7 +42,7 @@ def bulk_mg_dos() -> None:
     res = calc.run()
     print(f"    E = {res.energy:+.6f} Ha ({res.energy / 4:.4f}/atom), "
           f"mu = {res.fermi_level:+.4f} Ha, converged={res.converged} "
-          f"[{time.time() - t0:.0f}s]")
+          f"[{t0.elapsed():.0f}s]")
 
     E = np.linspace(res.fermi_level - 0.4, res.fermi_level + 0.3, 800)
     g = density_of_states(
@@ -69,7 +69,7 @@ def bulk_mg_dos() -> None:
 
 def h_chain_bands() -> None:
     print("=== periodic H chain: band structure along Gamma -> Z")
-    t0 = time.time()
+    t0 = Stopwatch()
     lat = np.diag([4.0, 10.0, 10.0])
     chain = AtomicConfiguration(
         ["H"], [[2.0, 5.0, 5.0]], lattice=lat, pbc=(True, False, False)
@@ -86,7 +86,7 @@ def h_chain_bands() -> None:
     for k, row in zip(path, bands):
         print(f"    {k[0]:6.3f}    " + "  ".join(f"{e:+.4f}" for e in row))
     width = bands[-1, 0] - bands[0, 0]
-    print(f"    lowest-band width: {width:.4f} Ha [{time.time() - t0:.0f}s]")
+    print(f"    lowest-band width: {width:.4f} Ha [{t0.elapsed():.0f}s]")
 
     print("=== nonlocal (Kleinman-Bylander) projector variant (He marker atom)")
     he = AtomicConfiguration(["He"], [[0, 0, 0]])

@@ -11,7 +11,7 @@ Usage::
     python examples/exascale_performance.py
 """
 
-import time
+from repro.obs import Stopwatch
 
 import numpy as np
 
@@ -48,9 +48,9 @@ def fig4_cf_block_size() -> None:
     X = np.random.default_rng(0).standard_normal((op.n, 64))
     print("    measured host-CPU CF throughput (same kernel, GFLOP/s):")
     for bf in (4, 16, 64):
-        t0 = time.perf_counter()
+        t0 = Stopwatch()
         chebyshev_filter(op, X, 8, 1.0, b, -1.0, block_size=bf)
-        dt = time.perf_counter() - t0
+        dt = Stopwatch() - t0
         flops = 8 * 2 * mesh.ncells * mesh.nodes_per_cell**2 * 64
         print(f"      B_f={bf:3d}: {flops / dt / 1e9:8.2f} GFLOP/s")
 

@@ -15,7 +15,7 @@ Usage::
     python examples/invdft_exact_xc.py
 """
 
-import time
+from repro.obs import Stopwatch
 
 import numpy as np
 
@@ -25,19 +25,19 @@ from repro.xc.lda import LDA
 
 
 def main() -> None:
-    t0 = time.time()
+    t0 = Stopwatch()
     print("=== stage 1-2: LDA seed + FCI reference density (H2)")
     ref = qmb_reference("H2")
     print(
         f"    E_LDA = {ref.e_ks_seed:+.6f} Ha, E_FCI = {ref.e_fci:+.6f} Ha "
         f"(correlation gain {1000 * (ref.e_ks_seed - ref.e_fci):+.1f} mHa) "
-        f"[{time.time() - t0:.0f}s]"
+        f"[{t0.elapsed():.0f}s]"
     )
 
     print("=== stage 3: inverse DFT (PDE-constrained optimization)")
     sample, inv = invert_reference(ref, max_iterations=120)
     print(
-        f"    exact E_xc = {sample.exc_target:+.6f} Ha  [{time.time() - t0:.0f}s]"
+        f"    exact E_xc = {sample.exc_target:+.6f} Ha  [{t0.elapsed():.0f}s]"
     )
 
     # compare exact vs LDA v_xc along the bond axis
@@ -74,7 +74,7 @@ def main() -> None:
         )
         print(f"    {label:<18} {r.iterations:5d} MINRES iterations "
               f"(converged={r.converged})")
-    print(f"=== done in {time.time() - t0:.0f}s")
+    print(f"=== done in {t0.elapsed():.0f}s")
 
 
 if __name__ == "__main__":

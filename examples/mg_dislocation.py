@@ -19,7 +19,7 @@ Usage::
     python examples/mg_dislocation.py
 """
 
-import time
+from repro.obs import Stopwatch
 
 import numpy as np
 
@@ -53,7 +53,7 @@ def run_dft(config, nk=2, **kw):
 
 
 def main() -> None:
-    t0 = time.time()
+    t0 = Stopwatch()
     print("=== full-size benchmark geometries (paper Sec 6.2)")
     for name in ("DislocMgY", "TwinDislocMgY(A)", "TwinDislocMgY(C)"):
         s = build_system(name)
@@ -62,7 +62,7 @@ def main() -> None:
             f"{s.electrons_per_kpoint:7d} e-/k x {s.n_kpoints} k-points = "
             f"{s.supercell_electrons:7d} e- in the supercell"
         )
-    print(f"    [{time.time() - t0:.0f}s]")
+    print(f"    [{t0.elapsed():.0f}s]")
 
     print("=== real k-point DFT: dislocation line energy (small Mg cell)")
     perfect = small_mg_cell()
@@ -70,7 +70,7 @@ def main() -> None:
     print(
         f"    perfect cell  ({perfect.natoms} atoms x 2 k-pts): "
         f"E = {res_p.energy:+.6f} Ha, converged={res_p.converged} "
-        f"[{time.time() - t0:.0f}s]"
+        f"[{t0.elapsed():.0f}s]"
     )
     disloc = apply_screw_dislocation(perfect, burgers=perfect.lattice[2, 2] * 0.5)
     res_d = run_dft(disloc)
@@ -78,7 +78,7 @@ def main() -> None:
     e_line = energy_per_dislocation_length(res_d.energy, res_p.energy, line)
     print(
         f"    dislocated    : E = {res_d.energy:+.6f} Ha  ->  "
-        f"E_disloc = {e_line:+.0f} meV/nm of line [{time.time() - t0:.0f}s]"
+        f"E_disloc = {e_line:+.0f} meV/nm of line [{t0.elapsed():.0f}s]"
     )
 
     print("=== solute-dislocation interaction (Y-analog: Mg -> Li swap)")
@@ -112,7 +112,7 @@ def main() -> None:
     sign = "attractive" if e_int < 0 else "repulsive"
     print(
         f"    E_int(core vs bulk) = {1000 * e_int:+.1f} mHa ({sign}) "
-        f"[{time.time() - t0:.0f}s]"
+        f"[{t0.elapsed():.0f}s]"
     )
 
     print("=== modeled production runs on Frontier (paper Table 3)")
@@ -129,7 +129,7 @@ def main() -> None:
             f"{m.sustained_pflops:6.1f} PFLOPS ({m.peak_fraction:.1%}) "
             f"| paper {paper[0]} s, {paper[1]} PFLOPS"
         )
-    print(f"=== done in {time.time() - t0:.0f}s")
+    print(f"=== done in {t0.elapsed():.0f}s")
 
 
 if __name__ == "__main__":

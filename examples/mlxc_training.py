@@ -17,7 +17,7 @@ Usage::
 
 import argparse
 import pathlib
-import time
+from repro.obs import Stopwatch
 
 
 from repro.core import DFTCalculation, SCFOptions
@@ -40,18 +40,18 @@ def main() -> None:
     invdft_iters = 60 if args.fast else 200
     epochs = 120 if args.fast else 400
 
-    t0 = time.time()
+    t0 = Stopwatch()
     print(f"=== building QMB + invDFT training data: {DEFAULT_TRAINING_SET}")
     samples = build_training_set(
         invdft_iterations=invdft_iters, verbose=True
     )
-    print(f"    ({time.time() - t0:.0f}s)")
+    print(f"    ({t0.elapsed():.0f}s)")
 
     print("=== training MLXC (5 layers x 80 neurons, ELU; composite loss)")
     mlxc, history = train_mlxc(samples, epochs=epochs, verbose=True)
     print(
         f"    loss {history[0]['total']:.3e} -> {history[-1]['total']:.3e} "
-        f"({time.time() - t0:.0f}s)"
+        f"({t0.elapsed():.0f}s)"
     )
 
     if args.save:
@@ -80,7 +80,7 @@ def main() -> None:
         f"|E - E_FCI| = {abs(res.energy - ref.e_fci) * 1000:.2f} mHa"
     )
     print(f"    E_FCI  = {ref.e_fci:+.6f} Ha")
-    print(f"=== done in {time.time() - t0:.0f}s")
+    print(f"=== done in {t0.elapsed():.0f}s")
 
 
 if __name__ == "__main__":

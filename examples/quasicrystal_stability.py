@@ -24,7 +24,7 @@ Usage::
 """
 
 import argparse
-import time
+from repro.obs import Stopwatch
 
 import numpy as np
 
@@ -76,7 +76,7 @@ def main() -> None:
     ap.add_argument("--sizes", type=int, nargs="+", default=[2, 4, 6, 9])
     args = ap.parse_args()
 
-    t0 = time.time()
+    t0 = Stopwatch()
     print("=== full-size YbCd quasicrystal nanoparticle (paper Fig 6)")
     nano = ybcd_nanoparticle()
     pos = nano.config.positions
@@ -109,7 +109,7 @@ def main() -> None:
         e_fcc.append(ef)
         print(
             f"    N = {n:3d}: E_qc = {eq:+.5f} Ha, E_fcc = {ef:+.5f} Ha "
-            f"[{time.time() - t0:.0f}s]"
+            f"[{t0.elapsed():.0f}s]"
         )
 
     sizes = np.asarray(args.sizes, float)
@@ -139,7 +139,7 @@ def main() -> None:
         f"    init {tts['initialization']:.0f} s + SCF {tts['total_scf']:.0f} s "
         f"= total {tts['total']:.0f} s (paper: 69 + 2023 = 2092 s)"
     )
-    print(f"=== done in {time.time() - t0:.0f}s")
+    print(f"=== done in {t0.elapsed():.0f}s")
 
 
 if __name__ == "__main__":

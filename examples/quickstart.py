@@ -10,7 +10,7 @@ Usage::
     python examples/quickstart.py
 """
 
-import time
+from repro.obs import Stopwatch
 
 import numpy as np
 
@@ -27,7 +27,7 @@ def main() -> None:
     print("system: H2, 2 valence electrons, isolated (multipole Dirichlet box)")
     results = {}
     for name, xc in (("LDA (Level 1)", LDA()), ("PBE (Level 2)", PBE())):
-        t0 = time.time()
+        t0 = Stopwatch()
         calc = DFTCalculation(
             h2, xc=xc, padding=8.0, cells_per_axis=4, degree=5,
             options=SCFOptions(max_iterations=40),
@@ -37,15 +37,15 @@ def main() -> None:
         print(
             f"{name:<16} E = {res.energy:+.6f} Ha   "
             f"gap = {homo_lumo_gap(res) * 27.2114:5.2f} eV   "
-            f"{res.n_iterations} SCF iters, {time.time() - t0:.1f}s, "
+            f"{res.n_iterations} SCF iters, {t0.elapsed():.1f}s, "
             f"converged={res.converged}"
         )
 
     # Level 3: hybrid correction on the PBE orbitals
     calc, res = results["PBE (Level 2)"]
-    t0 = time.time()
+    t0 = Stopwatch()
     e_hyb = PBE0().post_scf_energy(calc.mesh, res)
-    print(f"{'PBE0 (Level 3)':<16} E = {e_hyb:+.6f} Ha   (post-SCF, {time.time()-t0:.1f}s)")
+    print(f"{'PBE0 (Level 3)':<16} E = {e_hyb:+.6f} Ha   (post-SCF, {t0.elapsed():.1f}s)")
 
     # a few diagnostics from the converged PBE state
     print("\nKohn-Sham spectrum (PBE, Ha):", np.round(res.eigenvalues[0][:4], 4))

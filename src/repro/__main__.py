@@ -7,7 +7,11 @@ Commands
 ``scf MOLECULE``
     Ground-state SCF of a library molecule (LDA/PBE/MLXC).
 ``perfmodel [SYSTEM]``
-    Modeled Table-3 style breakdown for a paper workload.
+    Modeled Table-3 style breakdown for a paper workload (``--json`` for
+    machine-readable output).
+``trace MOLECULE``
+    Run an SCF under the reproscope tracer and write a Chrome-trace JSON
+    (load it in Perfetto / ``chrome://tracing``).
 ``systems``
     Build and tabulate the paper's benchmark systems.
 ``lint [PATH ...]``
@@ -34,17 +38,18 @@ def _cmd_info(_args) -> int:
     return 0
 
 
-def _cmd_scf(args) -> int:
+def _run_library_scf(args):
+    """Build and run a DFTCalculation for a library molecule (CLI shared)."""
     import numpy as np
 
     from repro.atoms.pseudo import AtomicConfiguration
-    from repro.core import DFTCalculation, SCFOptions, homo_lumo_gap
+    from repro.core import DFTCalculation, SCFOptions
     from repro.pipeline import MOLECULE_LIBRARY
     from repro.xc import LDA, PBE
 
     if args.molecule not in MOLECULE_LIBRARY:
         print(f"unknown molecule {args.molecule!r}; see `python -m repro info`")
-        return 2
+        return None, None
     symbols, positions, *_ = MOLECULE_LIBRARY[args.molecule]
     config = AtomicConfiguration(list(symbols), np.asarray(positions, float))
     xc = {"lda": LDA, "pbe": PBE}[args.xc]()
@@ -52,10 +57,65 @@ def _cmd_scf(args) -> int:
         config, xc=xc, degree=args.degree, cells_per_axis=args.cells,
         options=SCFOptions(max_iterations=args.max_scf, verbose=True),
     )
-    res = calc.run()
-    print(f"E({args.molecule}, {xc.name}) = {res.energy:+.6f} Ha  "
+    return xc.name, calc.run()
+
+
+def _print_profile(agg) -> None:
+    from repro.obs import TABLE3_ORDER, kernel_totals, render_tree
+
+    print()
+    print(render_tree(agg, title="reproscope profile"))
+    totals = kernel_totals(agg)
+    grand = sum(totals.values()) or 1.0
+    print()
+    print("Table-3 kernel totals:")
+    for label in TABLE3_ORDER:
+        sec = totals.get(label, 0.0)
+        if sec == 0.0:
+            continue
+        print(f"  {label:<10} {sec:9.4f} s  {100.0 * sec / grand:5.1f} %")
+
+
+def _cmd_scf(args) -> int:
+    from repro.core import homo_lumo_gap
+
+    agg = None
+    if args.profile:
+        from repro.obs import InMemoryAggregator, get_tracer
+
+        agg = InMemoryAggregator()
+        get_tracer().add_sink(agg)
+    xc_name, res = _run_library_scf(args)
+    if res is None:
+        return 2
+    print(f"E({args.molecule}, {xc_name}) = {res.energy:+.6f} Ha  "
           f"gap = {homo_lumo_gap(res) * 27.2114:.2f} eV  "
           f"converged={res.converged}")
+    if agg is not None:
+        _print_profile(agg)
+    return 0 if res.converged else 1
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs import ChromeTraceSink, InMemoryAggregator, get_tracer
+
+    tracer = get_tracer()
+    chrome = ChromeTraceSink(args.output, epoch=tracer.epoch)
+    agg = InMemoryAggregator()
+    tracer.add_sink(chrome)
+    tracer.add_sink(agg)
+    try:
+        _, res = _run_library_scf(args)
+    finally:
+        tracer.remove_sink(chrome)
+        tracer.remove_sink(agg)
+        chrome.close()
+    if res is None:
+        return 2
+    print(f"wrote {len(chrome.events)} trace events ({agg.roots_seen} root "
+          f"spans) to {args.output} — open in Perfetto or chrome://tracing")
+    if args.profile:
+        _print_profile(agg)
     return 0 if res.converged else 1
 
 
@@ -68,6 +128,27 @@ def _cmd_perfmodel(args) -> int:
     m = scf_breakdown(
         wl, FRONTIER, args.nodes, ModelOptions(optimal_routing=False)
     )
+    if args.json:
+        import json
+
+        payload = {
+            "workload": wl.name,
+            "machine": "Frontier",
+            "nodes": args.nodes,
+            "peak_pflops": FRONTIER.system_peak_pflops(args.nodes),
+            "kernels": [
+                {"kernel": name, "seconds": sec, "pflop": pf, "pflops": pflops}
+                for name, sec, pf, pflops in m.table_rows()
+            ],
+            "total": {
+                "seconds": m.wall_time,
+                "pflop": m.counted_pflop,
+                "pflops": m.sustained_pflops,
+                "peak_fraction": m.peak_fraction,
+            },
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
     print(f"{wl.name} on {args.nodes} Frontier nodes "
           f"({FRONTIER.system_peak_pflops(args.nodes):.1f} PF peak):")
     for name, sec, pf, pflops in m.table_rows():
@@ -99,21 +180,39 @@ def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = ap.add_subparsers(dest="command", required=True)
     sub.add_parser("info")
+
+    def _add_scf_args(p) -> None:
+        p.add_argument("molecule")
+        p.add_argument("--xc", choices=("lda", "pbe"), default="lda")
+        p.add_argument("--degree", type=int, default=4)
+        p.add_argument("--cells", type=int, default=4)
+        p.add_argument("--max-scf", type=int, default=40)
+        p.add_argument(
+            "--profile", action="store_true",
+            help="print the reproscope kernel breakdown after the run",
+        )
+
     p = sub.add_parser("scf")
-    p.add_argument("molecule")
-    p.add_argument("--xc", choices=("lda", "pbe"), default="lda")
-    p.add_argument("--degree", type=int, default=4)
-    p.add_argument("--cells", type=int, default=4)
-    p.add_argument("--max-scf", type=int, default=40)
+    _add_scf_args(p)
+    p = sub.add_parser("trace")
+    _add_scf_args(p)
+    p.add_argument(
+        "-o", "--output", default="repro_trace.json",
+        help="Chrome-trace JSON output path (default: repro_trace.json)",
+    )
     p = sub.add_parser("perfmodel")
     p.add_argument("system", nargs="?", default="TwinDislocMgY(C)")
     p.add_argument("--nodes", type=int, default=8000)
+    p.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
     sub.add_parser("systems")
     sub.add_parser("lint", help="run the reprolint static analyzer")
     args = ap.parse_args(argv)
     return {
         "info": _cmd_info,
         "scf": _cmd_scf,
+        "trace": _cmd_trace,
         "perfmodel": _cmd_perfmodel,
         "systems": _cmd_systems,
     }[args.command](args)

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs import kernel_region
+
 __all__ = ["lanczos_upper_bound", "chebyshev_filter", "filter_block"]
 
 
@@ -99,17 +101,8 @@ def chebyshev_filter(
     n, nvec = X.shape
     bs = nvec if block_size is None else max(1, int(block_size))
     out = np.empty_like(X)
-    timer = ledger.timed("CF") if ledger is not None else _nullcontext()
-    with timer:
+    with kernel_region("CF", ledger, degree=m, block_size=bs, nvec=nvec):
         for start in range(0, nvec, bs):
             sl = slice(start, min(start + bs, nvec))
             out[:, sl] = filter_block(op, X[:, sl], m, a, b, a0)
     return out
-
-
-class _nullcontext:
-    def __enter__(self):
-        return self
-
-    def __exit__(self, *exc):
-        return False

@@ -12,6 +12,7 @@ import numpy as np
 
 from repro.fem.mesh import Mesh3D
 from repro.hpc.flops import gemm_flops
+from repro.obs import kernel_region
 
 __all__ = ["orbitals_to_nodes", "density_from_channels", "atomic_guess_density"]
 
@@ -39,8 +40,7 @@ def density_from_channels(
     rho = np.zeros((mesh.nnodes, 2), dtype=float)
     dinv2 = np.zeros(mesh.nnodes, dtype=float)
     dinv2[mesh.free] = 1.0 / mesh.mass_diag[mesh.free]
-    timer = ledger.timed("DC") if ledger is not None else _null()
-    with timer:
+    with kernel_region("DC", ledger):
         for ch, occ in zip(channels, occupations):
             psi = ch.psi
             dens_free = np.einsum(
@@ -82,11 +82,3 @@ def atomic_guess_density(
     rho *= config.n_electrons / total
     p = float(np.clip(polarization, -1.0, 1.0))
     return np.stack([0.5 * (1 + p) * rho, 0.5 * (1 - p) * rho], axis=1)
-
-
-class _null:
-    def __enter__(self):
-        return self
-
-    def __exit__(self, *exc):
-        return False

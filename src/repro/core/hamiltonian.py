@@ -23,6 +23,7 @@ import numpy as np
 from repro.atoms.pseudo import AtomicConfiguration
 from repro.fem.mesh import Mesh3D
 from repro.fem.poisson import PoissonSolver, multipole_boundary_values
+from repro.obs import kernel_region
 
 __all__ = ["Electrostatics", "gaussian_self_energy"]
 
@@ -88,8 +89,7 @@ class Electrostatics:
     def solve(self, rho_total: np.ndarray, tol: float = 1e-9) -> np.ndarray:
         """Return ``v_tot = v_N + v_H`` for electron density ``rho_total``."""
         net = rho_total - self.core_density
-        timer = self.ledger.timed("EP") if self.ledger is not None else _null()
-        with timer:
+        with kernel_region("EP", self.ledger):
             bc = None
             if self.mesh.free.size != self.mesh.nnodes:
                 bc = multipole_boundary_values(self.mesh, net)
@@ -114,11 +114,3 @@ class Electrostatics:
         """
         net = rho_total - self.core_density
         return 0.5 * float(self.mesh.integrate(net * v_tot)) - self.self_energy
-
-
-class _null:
-    def __enter__(self):
-        return self
-
-    def __exit__(self, *exc):
-        return False

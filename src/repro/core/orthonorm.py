@@ -18,6 +18,7 @@ import numpy as np
 from scipy.linalg import solve_triangular
 
 from repro.hpc.flops import gemm_flops
+from repro.obs import kernel_region
 from repro.tools.contracts import dtype_contract, shape_contract
 
 __all__ = ["blocked_gram", "cholesky_orthonormalize", "blocked_rotate"]
@@ -49,8 +50,7 @@ def blocked_gram(
     S = np.zeros((nvec, nvec), dtype=X.dtype)
     f32 = _f32(X.dtype)
     starts = list(range(0, nvec, block_size))
-    timer = ledger.timed(kernel) if ledger is not None else _null()
-    with timer:
+    with kernel_region(kernel, ledger, block_size=block_size, nvec=nvec):
         for i in starts:
             si = slice(i, min(i + block_size, nvec))
             Xi = X[:, si]
@@ -106,8 +106,7 @@ def blocked_rotate(
     Y = np.zeros((n, Q.shape[1]), dtype=X.dtype)
     starts = list(range(0, nvec, block_size))
     col_starts = list(range(0, Q.shape[1], block_size))
-    timer = ledger.timed(kernel) if ledger is not None else _null()
-    with timer:
+    with kernel_region(kernel, ledger, block_size=block_size, nvec=nvec):
         for j in col_starts:
             sj = slice(j, min(j + block_size, Q.shape[1]))
             acc = np.zeros((n, sj.stop - sj.start), dtype=X.dtype)
@@ -153,8 +152,7 @@ def cholesky_orthonormalize(
     S = blocked_gram(
         X, block_size=block_size, mixed_precision=mixed_precision, ledger=ledger
     )
-    timer = ledger.timed("CholGS-CI") if ledger is not None else _null()
-    with timer:
+    with kernel_region("CholGS-CI", ledger):
         try:
             L = np.linalg.cholesky(S)
             Linv = solve_triangular(L, np.eye(L.shape[0], dtype=L.dtype), lower=True)
@@ -169,11 +167,3 @@ def cholesky_orthonormalize(
         ledger=ledger,
         kernel="CholGS-O",
     )
-
-
-class _null:
-    def __enter__(self):
-        return self
-
-    def __exit__(self, *exc):
-        return False

@@ -12,9 +12,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.hpc.flops import gemm_flops
+from repro.obs import kernel_region
 from repro.tools.contracts import dtype_contract, shape_contract
 
-from .orthonorm import _null, blocked_rotate, _f32
+from .orthonorm import blocked_rotate, _f32
 
 __all__ = ["projected_hamiltonian", "rayleigh_ritz"]
 
@@ -34,8 +35,7 @@ def projected_hamiltonian(
     f32 = _f32(X.dtype)
     Hp = np.zeros((nvec, nvec), dtype=X.dtype)
     starts = list(range(0, nvec, block_size))
-    timer = ledger.timed("RR-P") if ledger is not None else _null()
-    with timer:
+    with kernel_region("RR-P", ledger, block_size=block_size, nvec=nvec):
         for i in starts:
             si = slice(i, min(i + block_size, nvec))
             for j in starts:
@@ -86,8 +86,7 @@ def rayleigh_ritz(
     Hp = projected_hamiltonian(
         X, HX, block_size=block_size, mixed_precision=mixed_precision, ledger=ledger
     )
-    timer = ledger.timed("RR-D") if ledger is not None else _null()
-    with timer:
+    with kernel_region("RR-D", ledger):
         evals, Q = np.linalg.eigh(Hp)
     Xr = blocked_rotate(
         X,

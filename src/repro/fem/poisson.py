@@ -21,6 +21,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import add_counter, trace_region
+
 from .assembly import CellStiffness
 from .mesh import Mesh3D
 
@@ -112,7 +114,9 @@ class PoissonSolver:
             return self.stiff.apply_full(full)[free]
 
         x_start = None if x0 is None else (x0 - lift)[free]
-        x, it, res, ok = _pcg(apply_K, b, diag, tol, maxiter, x0=x_start)
+        with trace_region("Poisson-CG", ndof=int(free.size)):
+            x, it, res, ok = _pcg(apply_K, b, diag, tol, maxiter, x0=x_start)
+            add_counter("iterations", it)
         v = lift.copy()
         v[free] += x
         return PoissonResult(v, it, res, ok)
@@ -133,9 +137,11 @@ class PoissonSolver:
         def project(x: np.ndarray) -> np.ndarray:
             return x - np.dot(w, x) / vol
 
-        x, it, res, ok = _pcg(
-            apply_K, b, self._kdiag, tol, maxiter, project=project, x0=x0
-        )
+        with trace_region("Poisson-CG", ndof=int(mesh.nnodes), periodic=True):
+            x, it, res, ok = _pcg(
+                apply_K, b, self._kdiag, tol, maxiter, project=project, x0=x0
+            )
+            add_counter("iterations", it)
         return PoissonResult(x, it, res, ok)
 
 

@@ -22,6 +22,7 @@ import numpy as np
 from repro.fem.assembly import CellStiffness
 from repro.fem.mesh import Mesh3D
 from repro.fem.partition import Partition
+from repro.obs import add_counter
 
 __all__ = ["TrafficReport", "VirtualCluster"]
 
@@ -117,8 +118,11 @@ class VirtualCluster:
                 local[remote] = local[remote].astype(f32).astype(dtype)  # reprolint: disable=R001
             y += local
             # metering: partials sent to owners + summed values received back
-            self.traffic.p2p_bytes += 2 * remote.size * B * self.halo_word_bytes
+            halo_bytes = 2 * remote.size * B * self.halo_word_bytes
+            self.traffic.p2p_bytes += halo_bytes
             self.traffic.p2p_messages += 2 * self._neighbors[r]
+            add_counter("halo_bytes", halo_bytes)
+            add_counter("halo_messages", 2 * self._neighbors[r])
         return y[:, 0] if squeeze else y
 
     def _apply_cells_subset(self, Xc: np.ndarray, cells: np.ndarray) -> np.ndarray:
@@ -132,10 +136,10 @@ class VirtualCluster:
 
     def allreduce(self, array: np.ndarray) -> np.ndarray:
         """Meter an allreduce of ``array`` across the ranks (identity op)."""
-        self.traffic.allreduce_bytes += array.nbytes * 2 * (self.nranks - 1) / max(
-            self.nranks, 1
-        )
+        wire_bytes = array.nbytes * 2 * (self.nranks - 1) / max(self.nranks, 1)
+        self.traffic.allreduce_bytes += wire_bytes
         self.traffic.allreduce_calls += 1
+        add_counter("allreduce_bytes", wire_bytes)
         return array
 
     def dof_balance(self) -> np.ndarray:

@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.fem.mesh import Mesh3D
+from repro.obs import trace_region
 
 from .cluster import VirtualCluster
 
@@ -55,14 +56,17 @@ class DistributedKSOperator:
         """Apply the Löwdin KS operator via the distributed stiffness."""
         squeeze = X.ndim == 1
         Xb = X[:, None] if squeeze else X
-        full = np.zeros(
-            (self.mesh.nnodes, Xb.shape[1]),
-            dtype=np.result_type(self.dtype, Xb.dtype),
-        )
-        full[self.mesh.free] = self._dinvsqrt[self.mesh.free, None] * Xb
-        out = self.cluster.apply_stiffness(full)
-        y = 0.5 * self._dinvsqrt[self.mesh.free, None] * out[self.mesh.free]
-        y += self._v_free[:, None] * Xb
+        with trace_region(
+            "Distributed-apply", nranks=self.cluster.nranks, nvec=Xb.shape[1]
+        ):
+            full = np.zeros(
+                (self.mesh.nnodes, Xb.shape[1]),
+                dtype=np.result_type(self.dtype, Xb.dtype),
+            )
+            full[self.mesh.free] = self._dinvsqrt[self.mesh.free, None] * Xb
+            out = self.cluster.apply_stiffness(full)
+            y = 0.5 * self._dinvsqrt[self.mesh.free, None] * out[self.mesh.free]
+            y += self._v_free[:, None] * Xb
         return y[:, 0] if squeeze else y
 
     def diagonal(self) -> np.ndarray:

@@ -9,15 +9,22 @@ electrostatic solve from the FLOP count while still charging their wall time.
 The module also provides the closed-form lower-bound FLOP formulas used by
 the paper for the O(M N^2) dense steps, ``alpha * 4 * N * M * N`` with the
 complex factor 4 and ``alpha in {1, 2}`` for Hermitian exploitation.
+
+Timing is delegated to reproscope (:mod:`repro.obs`): :meth:`FlopLedger.
+timed` opens a kernel span and charges its duration back to the tally, so a
+ledger-instrumented run and its trace agree by construction, and
+:meth:`FlopLedger.add` mirrors every FLOP count onto the current span's
+counters.  With ``REPRO_TRACE=0`` the ledger still times correctly (the
+no-op spans keep their clock reads).
 """
 
 from __future__ import annotations
 
-import time
 from collections import defaultdict
-from collections.abc import Iterator
-from contextlib import contextmanager
 from dataclasses import dataclass
+from typing import ContextManager
+
+from repro.obs.tracer import Span, add_counter, kernel_region
 
 __all__ = [
     "FlopLedger",
@@ -59,17 +66,18 @@ class FlopLedger:
             t.flops_fp32 += flops
         else:
             raise ValueError(f"unknown precision {precision!r}")
+        # mirror onto the innermost open reproscope span (no-op untraced)
+        add_counter(f"flops_{precision}", flops)
 
-    @contextmanager
-    def timed(self, kernel: str) -> Iterator["FlopLedger"]:
-        """Time a code region and charge its wall time to ``kernel``."""
-        t0 = time.perf_counter()
-        try:
-            yield self
-        finally:
-            t = self._tally[kernel]
-            t.seconds += time.perf_counter() - t0
-            t.calls += 1
+    def charge_seconds(self, kernel: str, seconds: float, calls: int = 1) -> None:
+        """Record measured wall time for ``kernel`` (reproscope callback)."""
+        t = self._tally[kernel]
+        t.seconds += seconds
+        t.calls += calls
+
+    def timed(self, kernel: str) -> ContextManager[Span]:
+        """Open a reproscope span whose duration is charged to ``kernel``."""
+        return kernel_region(kernel, ledger=self)
 
     def __getitem__(self, kernel: str) -> KernelTally:
         return self._tally[kernel]

@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.fem.mesh import Mesh3D
+from repro.obs import kernel_region
 
 from .minres import BlockMinresResult, block_minres
 
@@ -71,8 +72,7 @@ def solve_adjoint(
         return Y - psi * coefs[None, :]
 
     precond = op.kinetic_diagonal() + 0.5 if use_preconditioner else None
-    timer = ledger.timed("Adjoint") if ledger is not None else _null()
-    with timer:
+    with kernel_region("Adjoint", ledger):
         res = block_minres(
             op.apply,
             G,
@@ -98,11 +98,3 @@ def potential_gradient(
     out = np.zeros(mesh.nnodes)
     out[mesh.free] = g_free / mesh.mass_diag[mesh.free]
     return out
-
-
-class _null:
-    def __enter__(self):
-        return self
-
-    def __exit__(self, *exc):
-        return False

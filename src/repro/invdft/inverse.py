@@ -33,6 +33,7 @@ from repro.core.rayleigh_ritz import rayleigh_ritz
 from repro.fem.assembly import KSOperator
 from repro.fem.mesh import Mesh3D
 from repro.fem.poisson import PoissonSolver, multipole_boundary_values
+from repro.obs import trace_region
 
 from .adjoint import adjoint_rhs, potential_gradient, solve_adjoint
 
@@ -109,9 +110,16 @@ class InverseDFT:
 
     # ------------------------------------------------------------------
     def _eigensolve(self, spin: int, v_xc_spin: np.ndarray, first: bool) -> None:
+        with trace_region("ChFES", spin=spin, first=first):
+            self._eigensolve_channel(spin, v_xc_spin, first)
+
+    def _eigensolve_channel(
+        self, spin: int, v_xc_spin: np.ndarray, first: bool
+    ) -> None:
         op = self.ops[spin]
         op.set_potential(self.v_base + v_xc_spin)
-        b = lanczos_upper_bound(op, k=12, seed=3 + spin)
+        with trace_region("Lanczos"):
+            b = lanczos_upper_bound(op, k=12, seed=3 + spin)
         if first:
             rng = np.random.default_rng(11 + spin)
             X = rng.standard_normal((op.n, self.nstates))
@@ -215,49 +223,51 @@ class InverseDFT:
         occ = [np.zeros(self.nstates), np.zeros(self.nstates)]
         rho_ks = self.rho_t.copy()
         for it in range(1, max_iterations + 1):
-            for s in (0, 1):
-                self._eigensolve(s, v_xc[:, s], first=self._psi[s] is None)
-            occ = find_fermi_level(
-                [self._evals[0]], [1.0], self.n_up, self.temperature, degeneracy=1.0
-            ).occupations + find_fermi_level(
-                [self._evals[1]], [1.0], self.n_dn, self.temperature, degeneracy=1.0
-            ).occupations
-            rho_ks = self._density(occ)
-            dr = rho_ks - self.rho_t
-            err = float(mesh.integrate(w * np.einsum("is,is->i", dr, dr)))
-            history.append({"iteration": it, "density_error": err, "eta": eta})
-            if verbose:  # pragma: no cover
-                print(f"invDFT {it:4d}  err = {err:.6e}  eta = {eta:.3f}")
-            if err < tol:
-                converged = True
-                break
-            if err > err_prev * 1.0001:
-                # overshoot: revert the potential, shrink the step, and
-                # re-solve at the reverted potential before the next update
-                v_xc = v_backup.copy()
-                eta *= 0.5
-                if eta < 1e-6:
+            with trace_region("invDFT-iteration", iteration=it):
+                for s in (0, 1):
+                    self._eigensolve(s, v_xc[:, s], first=self._psi[s] is None)
+                occ = find_fermi_level(
+                    [self._evals[0]], [1.0], self.n_up, self.temperature, degeneracy=1.0
+                ).occupations + find_fermi_level(
+                    [self._evals[1]], [1.0], self.n_dn, self.temperature, degeneracy=1.0
+                ).occupations
+                rho_ks = self._density(occ)
+                dr = rho_ks - self.rho_t
+                err = float(mesh.integrate(w * np.einsum("is,is->i", dr, dr)))
+                history.append({"iteration": it, "density_error": err, "eta": eta})
+                if verbose:  # pragma: no cover
+                    print(f"invDFT {it:4d}  err = {err:.6e}  eta = {eta:.3f}")
+                if err < tol:
+                    converged = True
                     break
-                continue
-            v_backup = v_xc.copy()
-            err_prev = err
-            eta *= 1.05
-            for s in (0, 1):
-                G = adjoint_rhs(
-                    mesh, self._psi[s], occ[s], w * dr[:, s]
-                )
-                sol = solve_adjoint(
-                    self.ops[s],
-                    self._psi[s],
-                    self._evals[s],
-                    G,
-                    tol=self.minres_tol,
-                    maxiter=self.minres_maxiter,
-                    use_preconditioner=self.use_preconditioner,
-                    ledger=self.ledger,
-                )
-                u = potential_gradient(mesh, self._psi[s], sol.x)
-                v_xc[:, s] -= eta * u
+                if err > err_prev * 1.0001:
+                    # overshoot: revert the potential, shrink the step, and
+                    # re-solve at the reverted potential before the next update
+                    v_xc = v_backup.copy()
+                    eta *= 0.5
+                    if eta < 1e-6:
+                        break
+                    continue
+                v_backup = v_xc.copy()
+                err_prev = err
+                eta *= 1.05
+                for s in (0, 1):
+                    with trace_region("XC-update", spin=s):
+                        G = adjoint_rhs(
+                            mesh, self._psi[s], occ[s], w * dr[:, s]
+                        )
+                        sol = solve_adjoint(
+                            self.ops[s],
+                            self._psi[s],
+                            self._evals[s],
+                            G,
+                            tol=self.minres_tol,
+                            maxiter=self.minres_maxiter,
+                            use_preconditioner=self.use_preconditioner,
+                            ledger=self.ledger,
+                        )
+                        u = potential_gradient(mesh, self._psi[s], sol.x)
+                        v_xc[:, s] -= eta * u
         return InverseDFTResult(
             v_xc=v_xc,
             rho_ks=rho_ks,

@@ -20,6 +20,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import add_counter, trace_region
+
 __all__ = ["BlockMinresResult", "block_minres"]
 
 
@@ -56,6 +58,24 @@ def block_minres(
         applied to the RHS and to every new Krylov vector.
     """
     Bmat = np.atleast_2d(B)
+    n, m = Bmat.shape
+    with trace_region("MINRES", nrhs=m, ndof=n):
+        result = _block_minres(
+            apply_A, Bmat, shifts, precond_diag, project, tol, maxiter
+        )
+        add_counter("iterations", result.iterations)
+    return result
+
+
+def _block_minres(
+    apply_A,
+    Bmat: np.ndarray,
+    shifts: np.ndarray,
+    precond_diag: np.ndarray | None,
+    project,
+    tol: float,
+    maxiter: int,
+) -> BlockMinresResult:
     n, m = Bmat.shape
     shifts = np.asarray(shifts, dtype=float).reshape(m)
     inv_m = (

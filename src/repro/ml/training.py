@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.fem.mesh import Mesh3D
 from repro.constants import RHO_FLOOR
+from repro.obs import trace_region
 
 from .nn import Adam
 
@@ -224,16 +225,20 @@ class MLXCTrainer:
         opt = Adam(lr=lr)
         theta = net.get_params()
         history = []
-        for ep in range(epochs):
-            net.set_params(theta)
-            losses, grad = self.loss_and_grad()
-            history.append(losses)
-            if verbose and (ep % 20 == 0 or ep == epochs - 1):  # pragma: no cover
-                print(
-                    f"epoch {ep:4d} total {losses['total']:.4e} "
-                    f"E {losses['energy']:.3e} v {losses['potential']:.3e}"
-                )
-            theta = opt.step(theta, grad)
+        with trace_region(
+            "MLXC-train", epochs=epochs, nsamples=len(self.samples)
+        ):
+            for ep in range(epochs):
+                with trace_region("MLXC-epoch", epoch=ep):
+                    net.set_params(theta)
+                    losses, grad = self.loss_and_grad()
+                    history.append(losses)
+                    if verbose and (ep % 20 == 0 or ep == epochs - 1):  # pragma: no cover
+                        print(
+                            f"epoch {ep:4d} total {losses['total']:.4e} "
+                            f"E {losses['energy']:.3e} v {losses['potential']:.3e}"
+                        )
+                    theta = opt.step(theta, grad)
         net.set_params(theta)
         return history
 

@@ -50,6 +50,13 @@ MOLECULE_LIBRARY: dict[str, tuple] = {
     "He": (["He"], [[0, 0, 0]], 1, 1, 6),
     "Li2": (["Li", "Li"], [[0, 0, 0], [5.05, 0, 0]], 3, 3, 7),
     "Be": (["Be"], [[0, 0, 0]], 2, 2, 6),
+    "H2O": (
+        ["O", "H", "H"],
+        [[0, 0, 0], [1.43, 1.11, 0], [-1.43, 1.11, 0]],
+        4,
+        4,
+        7,
+    ),
 }
 
 #: the paper's training systems (its Ne analog is replaced by He to keep

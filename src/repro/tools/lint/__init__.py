@@ -116,9 +116,10 @@ class Rule:
     """Base class for reprolint rules.
 
     Subclasses set :attr:`rule_id`, :attr:`description`, optionally
-    :attr:`severity` (``"error"`` or ``"warning"``) and
-    :attr:`path_filters` (posix-path substrings the file must match for
-    the rule to apply; ``None`` applies everywhere), and implement
+    :attr:`severity` (``"error"`` or ``"warning"``), :attr:`path_filters`
+    (posix-path substrings the file must match for the rule to apply;
+    ``None`` applies everywhere) and :attr:`path_excludes` (substrings
+    that exempt a file even when the filters match), and implement
     :meth:`check`.
     """
 
@@ -126,11 +127,14 @@ class Rule:
     description: str = ""
     severity: str = "error"
     path_filters: tuple[str, ...] | None = None
+    path_excludes: tuple[str, ...] = ()
 
     def applies_to(self, path: str) -> bool:
+        posix = pathlib.PurePath(path).as_posix()
+        if any(e in posix for e in self.path_excludes):
+            return False
         if self.path_filters is None:
             return True
-        posix = pathlib.PurePath(path).as_posix()
         return any(f in posix for f in self.path_filters)
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:

@@ -16,6 +16,8 @@ R006      ``np.zeros``/``np.empty`` without an explicit ``dtype=`` in
           the numerical core
 R007      unused module-level imports
 R008      unused local variables
+R009      raw wall-clock reads (``time.perf_counter()`` etc.) outside
+          the reproscope observability subsystem
 ========  ==========================================================
 
 Add a rule by subclassing :class:`~repro.tools.lint.Rule`, decorating it
@@ -39,6 +41,7 @@ __all__ = [
     "ImplicitDtypeAllocation",
     "UnusedImport",
     "UnusedVariable",
+    "RawTimingOutsideObs",
 ]
 
 #: attribute / string spellings of reduced-precision dtypes
@@ -574,3 +577,64 @@ class UnusedVariable(Rule):
                     f"local variable '{name}' in '{fn.name}' is assigned but "
                     "never used",
                 )
+
+
+# ----------------------------------------------------------------------------
+@register
+class RawTimingOutsideObs(Rule):
+    """R009: ad-hoc wall-clock reads bypass the reproscope subsystem.
+
+    Timing scattered through the code as raw ``time.perf_counter()`` pairs
+    cannot be aggregated, exported, or compared against the performance
+    model, and it silently disagrees with the span tree the tracer builds.
+    All timing goes through :mod:`repro.obs` — ``trace_region`` /
+    ``kernel_region`` for regions, ``Stopwatch`` for simple elapsed-time
+    reads.  The obs package itself (which wraps the clock) is exempt.
+    """
+
+    rule_id = "R009"
+    severity = "error"
+    description = (
+        "raw time.perf_counter()/time.time() outside repro/obs; use "
+        "reproscope spans or repro.obs.Stopwatch"
+    )
+    path_excludes = ("repro/obs/",)
+
+    _CLOCKS = frozenset(
+        {
+            "perf_counter", "perf_counter_ns", "time", "time_ns",
+            "monotonic", "monotonic_ns", "process_time", "process_time_ns",
+        }
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                dotted = _dotted(node.func)
+                if dotted is None:
+                    continue
+                parts = dotted.split(".")
+                if (
+                    len(parts) == 2
+                    and parts[0] == "time"
+                    and parts[1] in self._CLOCKS
+                ):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"raw clock read time.{parts[1]}() outside repro/obs; "
+                        "wrap the region in a reproscope span "
+                        "(trace_region/kernel_region) or use "
+                        "repro.obs.Stopwatch",
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                clocks = [
+                    a.name for a in node.names if a.name in self._CLOCKS
+                ]
+                if clocks:
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"importing {', '.join(clocks)} from time bypasses "
+                        "the reproscope clock; use repro.obs instead",
+                    )

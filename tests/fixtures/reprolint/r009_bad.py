@@ -1,0 +1,25 @@
+"""R009 fixture: ad-hoc wall-clock reads outside the obs subsystem."""
+
+import time
+
+
+def elapsed_work():
+    t0 = time.perf_counter()  # expect: R009
+    total = sum(range(100))
+    dt = time.perf_counter() - t0  # expect: R009
+    return total, dt
+
+
+def stamp():
+    return time.time()  # expect: R009
+
+
+def monotonic_pair():
+    start = time.monotonic_ns()  # expect: R009
+    return time.process_time() - start  # expect: R009
+
+
+def imported_clock():
+    from time import perf_counter  # expect: R009
+
+    return perf_counter()

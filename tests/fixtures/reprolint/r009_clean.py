@@ -1,0 +1,20 @@
+"""R009 clean fixture: timing through the reproscope primitives."""
+
+import time
+
+from repro.obs import Stopwatch, trace_region
+
+
+def timed_work():
+    watch = Stopwatch()
+    with trace_region("work") as span:
+        total = sum(range(100))
+    return total, watch.elapsed(), span.duration
+
+
+def annotated_epoch():
+    return time.time()  # reprolint: disable=R009
+
+
+def sleeping_is_fine():
+    time.sleep(0.0)
