@@ -57,7 +57,7 @@ def lanczos_upper_bound(op, k: int = 12, seed: int = 7) -> float:
 
 
 def filter_block(
-    op, X: np.ndarray, m: int, a: float, b: float, a0: float
+    op, X: np.ndarray, m: int, a: float, b: float, a0: float, workspace=None
 ) -> np.ndarray:
     """Scaled Chebyshev filter of degree ``m`` on one wavefunction block.
 
@@ -65,6 +65,14 @@ def filter_block(
     are amplified by T_m of their mapped (< -1) coordinate.  ``a0`` (an
     estimate of the lowest eigenvalue) sets the scaling that prevents
     overflow for large ``m``.
+
+    With a workspace (defaulting to ``op.workspace`` when the operator has
+    one, e.g. :class:`~repro.fem.assembly.KSOperator`) the three-term
+    recurrence ping-pongs between pooled blocks via ``op.apply(..., out=)``
+    instead of allocating a fresh block per term; every arithmetic step
+    keeps the reference operation order, so the result is bit-for-bit
+    identical.  The returned array is then workspace-owned — valid until
+    the next ``filter_block`` on the same thread.
     """
     if m < 1:
         raise ValueError("filter degree must be >= 1")
@@ -72,10 +80,35 @@ def filter_block(
     c = (b + a) / 2.0
     sigma = e / (a0 - c)
     sigma1 = sigma
-    Y = (op.apply(X) - c * X) * (sigma1 / e)
-    for _ in range(2, m + 1):
+    ws = workspace if workspace is not None else getattr(op, "workspace", None)
+    if ws is None or not ws.enabled:
+        Y = (op.apply(X) - c * X) * (sigma1 / e)
+        for _ in range(2, m + 1):
+            sigma2 = 1.0 / (2.0 / sigma1 - sigma)
+            Ynew = (op.apply(Y) - c * Y) * (2.0 * sigma2 / e) - (sigma * sigma2) * X
+            X, Y = Y, Ynew
+            sigma = sigma2
+        return Y
+    dt = np.result_type(op.dtype, X.dtype)
+    U = ws.get("cf_u", X.shape, dt)
+    # three rotating term blocks: X_k, Y_k and the in-flight Y_{k+1}
+    bufs = [ws.get(f"cf_{i}", X.shape, dt) for i in range(3)]
+    # Y = (H X - c X) * (sigma1 / e)
+    Y = op.apply(X, out=bufs[0])
+    np.multiply(c, X, out=U)
+    Y -= U
+    Y *= sigma1 / e
+    # cyclic rotation: after i steps X = bufs[(i-2) % 3], Y = bufs[(i-1) % 3],
+    # so bufs[i % 3] is always the free block (the input X never joins)
+    for i in range(1, m):
         sigma2 = 1.0 / (2.0 / sigma1 - sigma)
-        Ynew = (op.apply(Y) - c * Y) * (2.0 * sigma2 / e) - (sigma * sigma2) * X
+        # Ynew = (H Y - c Y) * (2 sigma2 / e) - (sigma sigma2) * X
+        Ynew = op.apply(Y, out=bufs[i % 3])
+        np.multiply(c, Y, out=U)
+        Ynew -= U
+        Ynew *= 2.0 * sigma2 / e
+        np.multiply(sigma * sigma2, X, out=U)
+        Ynew -= U
         X, Y = Y, Ynew
         sigma = sigma2
     return Y
@@ -90,13 +123,15 @@ def chebyshev_filter(
     a0: float,
     block_size: int | None = None,
     ledger=None,
+    workspace=None,
 ) -> np.ndarray:
     """Apply the Chebyshev filter in column blocks of size ``block_size``.
 
     This mirrors the paper's blocked CF kernel: each block is filtered
     independently (allowing compute/communication overlap on the real
     machine); numerically the result is identical to filtering all columns
-    at once.
+    at once.  ``workspace`` is forwarded to :func:`filter_block` (which
+    falls back to ``op.workspace`` when available).
     """
     n, nvec = X.shape
     bs = nvec if block_size is None else max(1, int(block_size))
@@ -104,5 +139,7 @@ def chebyshev_filter(
     with kernel_region("CF", ledger, degree=m, block_size=bs, nvec=nvec):
         for start in range(0, nvec, bs):
             sl = slice(start, min(start + bs, nvec))
-            out[:, sl] = filter_block(op, X[:, sl], m, a, b, a0)
+            out[:, sl] = filter_block(
+                op, X[:, sl], m, a, b, a0, workspace=workspace
+            )
     return out

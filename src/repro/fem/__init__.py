@@ -7,6 +7,8 @@ from .mesh import Mesh3D, graded_edges, uniform_mesh
 from .partition import Partition, process_grid
 from .poisson import PoissonSolver, multipole_boundary_values
 from .quadrature import gauss_legendre, gauss_lobatto_legendre
+from .scatter import ScatterMap, slow_scatter_enabled
+from .workspace import Workspace
 
 __all__ = [
     "CellStiffness",
@@ -16,6 +18,9 @@ __all__ = [
     "Partition",
     "PoissonSolver",
     "ReferenceCell",
+    "ScatterMap",
+    "Workspace",
+    "slow_scatter_enabled",
     "gauss_legendre",
     "gauss_lobatto_legendre",
     "graded_edges",

@@ -21,6 +21,14 @@ Under the diagonal-mass (Löwdin) transformation the Kohn-Sham operator is
 
 with ``K`` the assembled stiffness and ``v`` the total effective potential at
 the nodes, so only the kinetic part needs cell-level GEMMs.
+
+Fast apply path (see DESIGN.md): the scatter-add runs through a precomputed
+:class:`~repro.fem.scatter.ScatterMap` (bit-for-bit identical to the
+``np.add.at`` reference, which stays reachable via ``REPRO_SLOW_SCATTER=1``),
+and all intermediates — the free→full expansion, the gathered/GEMM'd cell
+tensors, the free-DoF output — live in a reusable
+:class:`~repro.fem.workspace.Workspace` so a steady-state ``KSOperator.apply``
+performs no large allocations.
 """
 
 from __future__ import annotations
@@ -30,6 +38,8 @@ import numpy as np
 from repro.tools.contracts import shape_contract
 
 from .mesh import Mesh3D
+from .scatter import ScatterMap
+from .workspace import Workspace
 
 __all__ = ["CellStiffness", "KSOperator"]
 
@@ -47,6 +57,10 @@ class CellStiffness:
     matrix and applied with one batched GEMM per block (the paper's fused
     kernel); on graded meshes three batched GEMMs with shared operands are
     used.
+
+    All state built here (reference matrices, coefficients, scatter maps)
+    is immutable after construction, so one instance may be shared across
+    the parallel (k, spin) channel threads.
     """
 
     def __init__(
@@ -88,6 +102,14 @@ class CellStiffness:
             self._Kc = None
         self.phases = mesh.bloch_phases(kfrac) if kfrac is not None else None
         self.dtype = np.complex128 if self.phases is not None else np.float64
+        # Precompiled scatter: unit weights share the mesh-wide map; Bloch
+        # paths fold the conjugated gather phases into the map's weights.
+        if self.phases is None:
+            self._smap = mesh.scatter_map
+        else:
+            self._smap = ScatterMap(
+                mesh.conn, mesh.nnodes, weights=np.conj(self.phases).ravel()
+            )
 
     @property
     def is_uniform(self) -> bool:
@@ -99,47 +121,92 @@ class CellStiffness:
             return self._Kc
         return sum(co * A for co, A in zip(self._coef[c], self._A))
 
-    def gather(self, x_full: np.ndarray) -> np.ndarray:
+    def gather(
+        self, x_full: np.ndarray, workspace: Workspace | None = None
+    ) -> np.ndarray:
         """Gather full-node field(s) to (ncells, npc, B) with Bloch phases."""
         squeeze = x_full.ndim == 1
         X = x_full[:, None] if squeeze else x_full
-        Xc = X[self.mesh.conn]  # (ncells, npc, B)
+        conn = self.mesh.conn
+        if workspace is None:
+            Xc = X[conn]  # (ncells, npc, B)
+            if self.phases is not None:
+                Xc = Xc * self.phases[:, :, None]
+            return Xc
+        dt = np.result_type(self.dtype, X.dtype)
+        Xc = workspace.get("stiff_Xc", (*conn.shape, X.shape[1]), dt)
+        if X.dtype == dt:
+            np.take(X, conn, axis=0, out=Xc)
+        else:
+            Xc[...] = X[conn]
         if self.phases is not None:
-            Xc = Xc * self.phases[:, :, None]
+            Xc *= self.phases[:, :, None]
         return Xc
 
     def scatter_add(self, Yc: np.ndarray, out: np.ndarray) -> np.ndarray:
-        """Scatter-add cell contributions into full-node array ``out``."""
-        if self.phases is not None:
-            Yc = np.conj(self.phases)[:, :, None] * Yc
-        flat = self.mesh.conn.ravel()
+        """Scatter-add cell contributions into full-node array ``out``.
+
+        For the Bloch path the conjugated phases are part of the scatter
+        map's weights.  Bit-for-bit identical to the reference
+        ``np.add.at`` loop when ``out`` is zero-initialized (it is, in
+        every caller); ``REPRO_SLOW_SCATTER=1`` forces the reference loop.
+        """
         B = Yc.shape[-1]
-        np.add.at(out, flat, Yc.reshape(-1, B))
+        self._smap.add_to(Yc.reshape(-1, B), out)
         return out
 
     @shape_contract(Xc=("ncells", "npc", "b"), returns=("ncells", "npc", "b"))
-    def apply_cells(self, Xc: np.ndarray) -> np.ndarray:
+    def apply_cells(
+        self, Xc: np.ndarray, workspace: Workspace | None = None
+    ) -> np.ndarray:
         """Batched cell GEMM: ``Y_c = K_c X_c`` over all cells at once."""
         ncells, npc, B = Xc.shape
         if self._Kc is not None:
-            Yc = np.matmul(self._Kc, Xc)
+            if workspace is None:
+                Yc = np.matmul(self._Kc, Xc)
+            else:
+                Yc = workspace.get("stiff_Yc", Xc.shape, Xc.dtype)
+                np.matmul(self._Kc, Xc, out=Yc)
             self._count(2 * npc * npc * B * ncells, Xc.dtype)
         else:
-            Yc = self._coef[:, 0, None, None] * np.matmul(self._A[0], Xc)
-            Yc += self._coef[:, 1, None, None] * np.matmul(self._A[1], Xc)
-            Yc += self._coef[:, 2, None, None] * np.matmul(self._A[2], Xc)
-            self._count(3 * 2 * npc * npc * B * ncells, Xc.dtype)
+            if workspace is None:
+                Yc = self._coef[:, 0, None, None] * np.matmul(self._A[0], Xc)
+                Yc += self._coef[:, 1, None, None] * np.matmul(self._A[1], Xc)
+                Yc += self._coef[:, 2, None, None] * np.matmul(self._A[2], Xc)
+            else:
+                Yc = workspace.get("stiff_Yc", Xc.shape, Xc.dtype)
+                T = workspace.get("stiff_Tc", Xc.shape, Xc.dtype)
+                np.matmul(self._A[0], Xc, out=T)
+                np.multiply(self._coef[:, 0, None, None], T, out=Yc)
+                np.matmul(self._A[1], Xc, out=T)
+                T *= self._coef[:, 1, None, None]
+                Yc += T
+                np.matmul(self._A[2], Xc, out=T)
+                T *= self._coef[:, 2, None, None]
+                Yc += T
+            # three GEMMs plus the per-cell coefficient scale (3 multiplies)
+            # and accumulate (2 adds) per cell-local value
+            self._count(ncells * npc * B * (6 * npc + 5), Xc.dtype)
         return Yc
 
-    def apply_full(self, x_full: np.ndarray) -> np.ndarray:
-        """``K @ x`` on the full node set (no boundary conditions)."""
+    def apply_full(
+        self, x_full: np.ndarray, workspace: Workspace | None = None
+    ) -> np.ndarray:
+        """``K @ x`` on the full node set (no boundary conditions).
+
+        With a workspace the returned array is a pooled buffer owned by the
+        workspace — valid until the next ``apply_full`` on the same thread;
+        copy it (or pass ``workspace=None``) if it must persist.
+        """
         squeeze = x_full.ndim == 1
-        Xc = self.gather(x_full)
-        Yc = self.apply_cells(Xc)
-        out = np.zeros(
-            (self.mesh.nnodes, Xc.shape[-1]),
-            dtype=np.result_type(self.dtype, x_full.dtype),
-        )
+        Xc = self.gather(x_full, workspace)
+        Yc = self.apply_cells(Xc, workspace=workspace)
+        dt = np.result_type(self.dtype, x_full.dtype)
+        shape = (self.mesh.nnodes, Xc.shape[-1])
+        if workspace is None:
+            out = np.zeros(shape, dtype=dt)
+        else:
+            out = workspace.zeros("stiff_out", shape, dt)
         self.scatter_add(Yc, out)
         return out[:, 0] if squeeze else out
 
@@ -150,7 +217,7 @@ class CellStiffness:
             for a in range(3)
         )  # (ncells, npc)
         out = np.zeros(self.mesh.nnodes, dtype=float)
-        np.add.at(out, self.mesh.conn.ravel(), diag_cell.ravel())
+        self.mesh.scatter_map.add_to(diag_cell.ravel(), out)
         return out
 
     def _count(self, flops: int, dtype) -> None:
@@ -178,6 +245,10 @@ class KSOperator:
         (and wavefunctions) to complex arithmetic.
     ledger:
         Optional FLOP ledger (``repro.hpc.flops.FlopLedger``).
+    workspace:
+        Buffer pool for the apply path; a private enabled pool is created
+        when omitted.  Pass ``Workspace(enabled=False)`` to reproduce the
+        allocate-per-call behaviour (A/B benchmarking).
     """
 
     def __init__(
@@ -186,11 +257,16 @@ class KSOperator:
         kfrac: tuple[float, float, float] | None = None,
         ledger=None,
         nonlocal_projectors=None,
+        workspace: Workspace | None = None,
     ) -> None:
         self.mesh = mesh
         self.stiff = CellStiffness(mesh, kfrac=kfrac, ledger=ledger)
         self.dtype = self.stiff.dtype
+        self.workspace = workspace if workspace is not None else Workspace()
         self._dinvsqrt = 1.0 / np.sqrt(mesh.mass_diag)
+        # free-index gathers cached once: the apply path never re-slices
+        self._dsf = np.ascontiguousarray(self._dinvsqrt[mesh.free])
+        self._half_dsf = 0.5 * self._dsf
         self._v_free = np.zeros(mesh.ndof, dtype=float)
         self.ledger = ledger
         self._nl_B = None
@@ -215,21 +291,68 @@ class KSOperator:
     def potential_free(self) -> np.ndarray:
         return self._v_free
 
-    def apply(self, X: np.ndarray) -> np.ndarray:
-        """Apply ``H~`` to a block ``X`` of shape (ndof,) or (ndof, B)."""
+    def clone(self) -> "KSOperator":
+        """Operator sharing all immutable state but owning its potential.
+
+        The parallel multi-channel ChFES gives each (k, spin) channel its
+        own clone so concurrent ``set_potential`` calls cannot race; the
+        heavy pieces (cell matrices, scatter maps, nonlocal projectors, the
+        thread-local workspace) are shared.
+        """
+        new = KSOperator.__new__(KSOperator)
+        new.mesh = self.mesh
+        new.stiff = self.stiff
+        new.dtype = self.dtype
+        new.workspace = self.workspace
+        new._dinvsqrt = self._dinvsqrt
+        new._dsf = self._dsf
+        new._half_dsf = self._half_dsf
+        new._v_free = self._v_free.copy()
+        new.ledger = self.ledger
+        new._nl_B = self._nl_B
+        new._nl_D = self._nl_D
+        return new
+
+    def apply(self, X: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Apply ``H~`` to a block ``X`` of shape (ndof,) or (ndof, B).
+
+        ``out``, when given, receives the result (same shape as ``X``; must
+        not alias ``X``) — the Chebyshev recurrence uses this to ping-pong
+        between preallocated blocks.  All arithmetic is performed in the
+        same operation order as the reference implementation, so results
+        are bit-for-bit independent of workspace/out usage.
+        """
+        if out is X and X is not None:
+            raise ValueError("out must not alias X")
         squeeze = X.ndim == 1
         Xb = X[:, None] if squeeze else X
-        full = np.zeros(
-            (self.mesh.nnodes, Xb.shape[1]), dtype=np.result_type(self.dtype, Xb.dtype)
+        ws = self.workspace
+        free = self.mesh.free
+        ndof, B = Xb.shape
+        rdt = np.result_type(self.dtype, Xb.dtype)
+        # free -> full expansion: boundary rows stay zero by invariant
+        full = ws.get(
+            "ks_full", (self.mesh.nnodes, B), rdt, zero_on_create=True
         )
-        full[self.mesh.free] = self._dinvsqrt[self.mesh.free, None] * Xb
-        out = self.stiff.apply_full(full)
-        y = 0.5 * self._dinvsqrt[self.mesh.free, None] * out[self.mesh.free]
-        y += self._v_free[:, None] * Xb
+        t = ws.get("ks_t", (ndof, B), rdt)
+        np.multiply(self._dsf[:, None], Xb, out=t)
+        full[free] = t
+        kx = self.stiff.apply_full(full, workspace=ws)
+        yg = ws.get("ks_gather", (ndof, B), rdt)
+        np.take(kx, free, axis=0, out=yg)
+        if out is None:
+            y = np.empty((ndof, B), dtype=rdt)
+        else:
+            y = out[:, None] if out.ndim == 1 else out
+        np.multiply(self._half_dsf[:, None], yg, out=y)
+        np.multiply(self._v_free[:, None], Xb, out=t)
+        y += t
         if self._nl_B is not None and self._nl_B.shape[1]:
             # separable nonlocal term: two skinny GEMMs (rank-k update)
             proj = self._nl_B.conj().T @ Xb
             y += self._nl_B @ (self._nl_D[:, None] * proj)
+        if out is not None:
+            return out
         return y[:, 0] if squeeze else y
 
     def diagonal(self) -> np.ndarray:

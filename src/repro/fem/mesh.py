@@ -21,6 +21,7 @@ from functools import cached_property
 import numpy as np
 
 from .cell import ReferenceCell, reference_cell
+from .scatter import ScatterMap
 
 __all__ = ["Mesh3D", "uniform_mesh", "graded_edges"]
 
@@ -228,12 +229,35 @@ class Mesh3D:
         return self.free.size
 
     @cached_property
+    def scatter_map(self) -> ScatterMap:
+        """Precompiled cell→node scatter over the connectivity (unit weights).
+
+        Built once per mesh and shared by every unweighted assembly loop
+        (stiffness apply, mass assembly, gradient recovery); bit-for-bit
+        identical to the ``np.add.at`` reference on zero-initialized
+        outputs.
+        """
+        return ScatterMap(self.conn, self.nnodes)
+
+    @cached_property
+    def _scatter_map3(self) -> ScatterMap:
+        """Scatter of three stacked per-axis contribution sets at once.
+
+        The indices are the connectivity repeated three times, so scattering
+        the concatenated (x, y, z) contributions replays the three
+        sequential ``np.add.at`` calls of the reference divergence in their
+        exact addition order (axis 0 entries before axis 1 before axis 2).
+        """
+        flat = self.conn.ravel()
+        return ScatterMap(np.concatenate([flat, flat, flat]), self.nnodes)
+
+    @cached_property
     def mass_diag(self) -> np.ndarray:
         """Assembled (diagonal) global mass matrix over *all* nodes."""
         w3 = self.ref.mass_diag((2.0, 2.0, 2.0))  # reference weights w_i w_j w_k
         vol = np.prod(self.cell_sizes, axis=1) / 8.0
         out = np.zeros(self.nnodes)
-        np.add.at(out, self.conn.ravel(), (vol[:, None] * w3[None, :]).ravel())
+        self.scatter_map.add_to((vol[:, None] * w3[None, :]).ravel(), out)
         return out
 
     def bloch_phases(self, kfrac: tuple[float, float, float]) -> np.ndarray | None:
@@ -295,7 +319,7 @@ class Mesh3D:
         out = np.zeros((self.nnodes, 3), dtype=field.dtype)
         for a, G in enumerate((Gx, Gy, Gz)):
             d = (Xc @ G.T) * (2.0 / h[:, a])[:, None]
-            np.add.at(out[:, a], self.conn.ravel(), (wcell * d).ravel())
+            self.scatter_map.add_to((wcell * d).ravel(), out[:, a])
         out /= self.mass_diag[:, None]
         return out
 
@@ -307,10 +331,14 @@ class Mesh3D:
         w3 = self.ref.mass_diag((2.0, 2.0, 2.0))
         vol = np.prod(h, axis=1) / 8.0
         wcell = vol[:, None] * w3[None, :]
+        parts = []
         for a, G in enumerate((Gx, Gy, Gz)):
             Xc = vec[self.conn, a]
             d = (Xc @ G.T) * (2.0 / h[:, a])[:, None]
-            np.add.at(out, self.conn.ravel(), (wcell * d).ravel())
+            parts.append((wcell * d).ravel())
+        # one scatter over the thrice-repeated connectivity keeps the exact
+        # per-node addition order of three sequential per-axis scatters
+        self._scatter_map3.add_to(np.concatenate(parts), out)
         return out / self.mass_diag
 
     def gradient_adjoint(self, v_field: np.ndarray) -> np.ndarray:
@@ -343,7 +371,7 @@ class Mesh3D:
         out = np.zeros((self.nnodes, 3), dtype=a_field.dtype)
         for a, G in enumerate((Gx, Gy, Gz)):
             contrib = ((wcell * Tc) @ G) * (2.0 / h[:, a])[:, None]
-            np.add.at(out[:, a], self.conn.ravel(), contrib.ravel())
+            self.scatter_map.add_to(contrib.ravel(), out[:, a])
         return out
 
 

@@ -25,6 +25,7 @@ from repro.obs import add_counter, trace_region
 
 from .assembly import CellStiffness
 from .mesh import Mesh3D
+from .workspace import Workspace
 
 __all__ = ["PoissonSolver", "multipole_boundary_values"]
 
@@ -66,9 +67,12 @@ class PoissonResult:
 class PoissonSolver:
     """Preconditioned-CG Poisson solver on a spectral-element mesh."""
 
-    def __init__(self, mesh: Mesh3D, ledger=None) -> None:
+    def __init__(
+        self, mesh: Mesh3D, ledger=None, workspace: Workspace | None = None
+    ) -> None:
         self.mesh = mesh
         self.stiff = CellStiffness(mesh, kfrac=None, ledger=ledger)
+        self.workspace = workspace if workspace is not None else Workspace()
         self._kdiag = self.stiff.diagonal_full()
         self._fully_periodic = mesh.free.size == mesh.nnodes
 
@@ -108,10 +112,18 @@ class PoissonSolver:
         b = b_full[free]
         diag = self._kdiag[free]
 
+        ws = self.workspace
+
         def apply_K(x: np.ndarray) -> np.ndarray:
-            full = np.zeros(mesh.nnodes)
+            # pooled free->full expansion; boundary rows stay zero by invariant
+            full = ws.get(
+                "poisson_full", (mesh.nnodes,), np.float64, zero_on_create=True
+            )
             full[free] = x
-            return self.stiff.apply_full(full)[free]
+            y = self.stiff.apply_full(full, workspace=ws)
+            Ap = ws.get("poisson_Ap", (free.size,), np.float64)
+            np.take(y, free, out=Ap)
+            return Ap
 
         x_start = None if x0 is None else (x0 - lift)[free]
         with trace_region("Poisson-CG", ndof=int(free.size)):
@@ -131,7 +143,7 @@ class PoissonSolver:
         b = b_full - w * (np.sum(b_full) / vol)
 
         def apply_K(x: np.ndarray) -> np.ndarray:
-            y = self.stiff.apply_full(x)
+            y = self.stiff.apply_full(x, workspace=self.workspace)
             return y - w * (np.dot(w, y) / np.dot(w, w) * 0.0)  # K maps const->0
 
         def project(x: np.ndarray) -> np.ndarray:
@@ -168,16 +180,21 @@ def _pcg(
     bnorm = max(float(np.linalg.norm(b)), 1e-300)
     res = float(np.linalg.norm(r)) / bnorm
     it = 0
+    tmp = np.empty_like(b)  # per-solve scratch for the axpy products
     while res > tol and it < maxiter:
         Ap = apply_A(p)
         alpha = rz / float(np.dot(p, Ap))
-        x += alpha * p
-        r -= alpha * Ap
+        np.multiply(alpha, p, out=tmp)
+        x += tmp
+        np.multiply(alpha, Ap, out=tmp)
+        r -= tmp
         if project is not None:
             r = project(r)
-        z = inv_diag * r
+        np.multiply(inv_diag, r, out=z)
         rz_new = float(np.dot(r, z))
-        p = z + (rz_new / rz) * p
+        # p = z + (rz_new/rz) * p, in place (addition order is bit-neutral)
+        p *= rz_new / rz
+        p += z
         rz = rz_new
         res = float(np.linalg.norm(r)) / bnorm
         it += 1

@@ -107,7 +107,10 @@ class VirtualCluster:
             if self.stiff.phases is not None:
                 Yc = np.conj(self.stiff.phases[cells])[:, :, None] * Yc
             local = np.zeros((self.mesh.nnodes, B), dtype=dtype)
-            np.add.at(local, conn[cells].ravel(), Yc.reshape(-1, B))
+            # Sanctioned slow scatter: the rank-local partial sums model the
+            # cluster's per-rank accumulation order, which the fast ScatterMap
+            # (built for the *global* connectivity) cannot reproduce per rank.
+            np.add.at(local, conn[cells].ravel(), Yc.reshape(-1, B))  # reprolint: disable=R010
             halo = self._halo_of_rank[r]
             remote = halo[self._owner[halo] != r]
             if self.fp32_halo and remote.size:

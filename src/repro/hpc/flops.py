@@ -20,6 +20,7 @@ no-op spans keep their clock reads).
 
 from __future__ import annotations
 
+import threading
 from collections import defaultdict
 from dataclasses import dataclass
 from typing import ContextManager
@@ -53,51 +54,65 @@ class KernelTally:
 
 
 class FlopLedger:
-    """Per-kernel FLOP and wall-time ledger."""
+    """Per-kernel FLOP and wall-time ledger.
+
+    Mutations are guarded by a lock: one ledger is shared by the parallel
+    (k, spin) ChFES channel threads, whose kernels all charge FLOPs and
+    seconds concurrently.
+    """
 
     def __init__(self) -> None:
         self._tally: dict[str, KernelTally] = defaultdict(KernelTally)
+        self._lock = threading.Lock()
 
     def add(self, kernel: str, flops: float, precision: str = "fp64") -> None:
-        t = self._tally[kernel]
-        if precision == "fp64":
-            t.flops_fp64 += flops
-        elif precision == "fp32":
-            t.flops_fp32 += flops
-        else:
+        if precision not in ("fp64", "fp32"):
             raise ValueError(f"unknown precision {precision!r}")
-        # mirror onto the innermost open reproscope span (no-op untraced)
+        with self._lock:
+            t = self._tally[kernel]
+            if precision == "fp64":
+                t.flops_fp64 += flops
+            else:
+                t.flops_fp32 += flops
+        # mirror onto the innermost open reproscope span (no-op untraced);
+        # spans are thread-local, so this needs no lock
         add_counter(f"flops_{precision}", flops)
 
     def charge_seconds(self, kernel: str, seconds: float, calls: int = 1) -> None:
         """Record measured wall time for ``kernel`` (reproscope callback)."""
-        t = self._tally[kernel]
-        t.seconds += seconds
-        t.calls += calls
+        with self._lock:
+            t = self._tally[kernel]
+            t.seconds += seconds
+            t.calls += calls
 
     def timed(self, kernel: str) -> ContextManager[Span]:
         """Open a reproscope span whose duration is charged to ``kernel``."""
         return kernel_region(kernel, ledger=self)
 
     def __getitem__(self, kernel: str) -> KernelTally:
-        return self._tally[kernel]
+        with self._lock:
+            return self._tally[kernel]
 
     def kernels(self) -> list[str]:
-        return sorted(self._tally)
+        with self._lock:
+            return sorted(self._tally)
 
     def total_counted_flops(self) -> float:
         """Total FLOPs over the kernels the paper counts."""
-        return sum(
-            t.flops_total
-            for k, t in self._tally.items()
-            if k not in UNCOUNTED_KERNELS
-        )
+        with self._lock:
+            return sum(
+                t.flops_total
+                for k, t in self._tally.items()
+                if k not in UNCOUNTED_KERNELS
+            )
 
     def total_seconds(self) -> float:
-        return sum(t.seconds for t in self._tally.values())
+        with self._lock:
+            return sum(t.seconds for t in self._tally.values())
 
     def reset(self) -> None:
-        self._tally.clear()
+        with self._lock:
+            self._tally.clear()
 
     def summary(self) -> str:
         lines = [f"{'kernel':<12} {'GFLOP':>12} {'fp32 share':>11} {'time (s)':>10}"]

@@ -105,21 +105,34 @@ def _block_minres(
     sn = np.zeros(m)
     w = np.zeros_like(Bmat)
     w2 = np.zeros_like(Bmat)
+    w1 = np.zeros_like(Bmat)
     r2 = r1.copy()
+    # per-solve scratch: the recurrence's (n, B) elementwise products and
+    # the preconditioned vector reuse these instead of allocating per
+    # iteration (apply_A/project outputs remain theirs); every arithmetic
+    # step keeps the reference operation order, so results are bit-identical
+    v = np.empty_like(Bmat)
+    tmp = np.empty_like(Bmat)
+    y_pre = y  # inv_m * r: rewritten in place once v has consumed it
     it = 0
     for it in range(1, maxiter + 1):
         s = 1.0 / beta
-        v = y * s[None, :]
-        y = apply_A(v) - shifts[None, :] * v
+        np.multiply(y, s[None, :], out=v)
+        y = apply_A(v)
+        np.multiply(shifts[None, :], v, out=tmp)
+        y -= tmp
         if project is not None:
             y = project(y)
         if it >= 2:
-            y -= (beta / oldb)[None, :] * r1
+            np.multiply((beta / oldb)[None, :], r1, out=tmp)
+            y -= tmp
         alfa = dots(v, y)
-        y -= (alfa / beta)[None, :] * r2
+        np.multiply((alfa / beta)[None, :], r2, out=tmp)
+        y -= tmp
         r1 = r2
         r2 = y
-        y = inv_m[:, None] * r2
+        np.multiply(inv_m[:, None], r2, out=y_pre)
+        y = y_pre
         oldb = beta.copy()
         beta2 = dots(r2, y)
         beta2 = np.where(beta2 > 0, beta2, 1e-300)
@@ -137,10 +150,18 @@ def _block_minres(
         phi = cs * phibar
         phibar = sn * phibar
 
+        # w rotation: the retiring w1 array is rewritten with the new w
+        wnew = w1
         w1 = w2
         w2 = w
-        w = (v - oldeps[None, :] * w1 - delta[None, :] * w2) / gamma[None, :]
-        x = x + phi[None, :] * w
+        np.multiply(oldeps[None, :], w1, out=tmp)
+        np.subtract(v, tmp, out=wnew)
+        np.multiply(delta[None, :], w2, out=tmp)
+        wnew -= tmp
+        wnew /= gamma[None, :]
+        w = wnew
+        np.multiply(phi[None, :], w, out=tmp)
+        x += tmp
         rel = phibar / beta1
         if np.all(rel[live] <= tol):
             break

@@ -45,6 +45,7 @@ from .tracer import (
     Stopwatch,
     Tracer,
     add_counter,
+    attach_to,
     current_span,
     get_tracer,
     is_enabled,
@@ -67,6 +68,7 @@ __all__ = [
     "TABLE3_ORDER",
     "Tracer",
     "add_counter",
+    "attach_to",
     "current_span",
     "get_tracer",
     "is_enabled",

@@ -18,6 +18,8 @@ R007      unused module-level imports
 R008      unused local variables
 R009      raw wall-clock reads (``time.perf_counter()`` etc.) outside
           the reproscope observability subsystem
+R010      ``np.add.at`` scatter-adds outside the sanctioned
+          ``repro/fem`` fast-scatter implementation
 ========  ==========================================================
 
 Add a rule by subclassing :class:`~repro.tools.lint.Rule`, decorating it
@@ -42,6 +44,7 @@ __all__ = [
     "UnusedImport",
     "UnusedVariable",
     "RawTimingOutsideObs",
+    "SlowScatterOutsideFem",
 ]
 
 #: attribute / string spellings of reduced-precision dtypes
@@ -638,3 +641,46 @@ class RawTimingOutsideObs(Rule):
                         f"importing {', '.join(clocks)} from time bypasses "
                         "the reproscope clock; use repro.obs instead",
                     )
+
+
+# ----------------------------------------------------------------------------
+@register
+class SlowScatterOutsideFem(Rule):
+    """R010: ``np.add.at`` scatters outside the sanctioned FEM fast path.
+
+    ``np.ufunc.at`` is an order-of-magnitude slower than the precomputed
+    :class:`repro.fem.scatter.ScatterMap` (sorted-connectivity segment sums /
+    CSR matvec), which reproduces its accumulation order bit-for-bit.  Any
+    scatter-add added elsewhere in the codebase silently reintroduces the
+    bottleneck the fast apply path removed.  The FEM package itself — which
+    hosts both the fast engines and the ``REPRO_SLOW_SCATTER`` reference
+    implementation — is exempt; other sanctioned sites (e.g. the cluster
+    model's per-rank partial sums) carry an explicit
+    ``# reprolint: disable=R010`` pragma.
+    """
+
+    rule_id = "R010"
+    severity = "error"
+    description = (
+        "np.add.at scatter outside repro/fem; use a precomputed "
+        "repro.fem.scatter.ScatterMap"
+    )
+    path_excludes = ("repro/fem/",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted is None:
+                continue
+            parts = dotted.split(".")
+            if len(parts) >= 2 and parts[-2:] == ["add", "at"]:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"{dotted}(...) scatter outside repro/fem; build a "
+                    "ScatterMap once per mesh and call .add_to() (bit-"
+                    "identical to np.add.at on zeroed output), or mark a "
+                    "sanctioned site with `# reprolint: disable=R010`",
+                )

@@ -1,0 +1,22 @@
+"""R010 fixture: np.add.at scatters outside the sanctioned FEM fast path."""
+
+import numpy as np
+import numpy as _np
+
+
+def naive_scatter(conn, values, nnodes):
+    out = np.zeros(nnodes, dtype=np.float64)
+    np.add.at(out, conn.ravel(), values.ravel())  # expect: R010
+    return out
+
+
+def aliased_scatter(conn, values, nnodes):
+    out = _np.zeros(nnodes, dtype=_np.float64)
+    _np.add.at(out, conn, values)  # expect: R010
+    return out
+
+
+def histogram_accumulate(bins, weights, nbins):
+    hist = np.zeros(nbins, dtype=np.float64)
+    np.add.at(hist, bins, weights)  # expect: R010
+    return hist

@@ -1,0 +1,23 @@
+"""R010 clean fixture: scatter-adds through ScatterMap or pragma'd sites."""
+
+import numpy as np
+
+from repro.fem.scatter import ScatterMap
+
+
+def fast_scatter(conn, values, nnodes):
+    smap = ScatterMap(conn, nnodes)
+    out = np.zeros(nnodes, dtype=np.float64)
+    smap.add_to(values.reshape(-1), out)
+    return out
+
+
+def sanctioned_partial_sum(conn, values, nnodes):
+    out = np.zeros(nnodes, dtype=np.float64)
+    np.add.at(out, conn.ravel(), values.ravel())  # reprolint: disable=R010
+    return out
+
+
+def other_ufunc_at_is_fine(mask, idx):
+    np.logical_or.at(mask, idx, True)
+    return mask

@@ -1,0 +1,304 @@
+"""Fast matrix-free apply path: scatter maps, workspaces, parallel ChFES.
+
+The contract under test is *bit-for-bit* equivalence: the precomputed
+:class:`~repro.fem.scatter.ScatterMap` engines, the workspace-backed
+``KSOperator.apply`` / ``chebyshev_filter``, and the thread-parallel
+(k, spin) channel dispatch must reproduce the reference ``np.add.at`` /
+allocate-per-call / serial implementations exactly, not approximately.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.chebyshev import chebyshev_filter, filter_block
+from repro.fem.assembly import KSOperator
+from repro.fem.mesh import uniform_mesh
+from repro.fem.scatter import ScatterMap, slow_scatter_enabled
+from repro.fem.workspace import Workspace
+
+ENGINES = ["csr", "slices"]
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return uniform_mesh((8.0, 8.0, 8.0), (3, 3, 3), 3, pbc=(True, True, True))
+
+
+def _reference_scatter(indices, values, nnodes, weights=None):
+    flat = np.asarray(indices).ravel()
+    vals = np.asarray(values).reshape(flat.size, -1)
+    if weights is not None:
+        vals = weights[:, None] * vals
+    out = np.zeros((nnodes, vals.shape[1]), dtype=vals.dtype)
+    np.add.at(out, flat, vals)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# ScatterMap vs np.add.at
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("nrhs", [1, 5])
+def test_scatter_map_bitexact_real(mesh, engine, nrhs):
+    rng = np.random.default_rng(3)
+    smap = ScatterMap(mesh.conn, mesh.nnodes, force_engine=engine)
+    values = rng.standard_normal((mesh.conn.size, nrhs))
+    out = np.zeros((mesh.nnodes, nrhs), dtype=np.float64)
+    smap.add_to(values, out)
+    ref = _reference_scatter(mesh.conn, values, mesh.nnodes)
+    assert np.array_equal(out, ref)  # bitwise, not allclose
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_scatter_map_bitexact_complex_weights(mesh, engine):
+    """Bloch case: conjugated phases folded into the map as weights."""
+    rng = np.random.default_rng(4)
+    phases = np.exp(1j * rng.uniform(0, 2 * np.pi, mesh.conn.size))
+    weights = np.conj(phases)
+    smap = ScatterMap(
+        mesh.conn, mesh.nnodes, weights=weights, force_engine=engine
+    )
+    values = rng.standard_normal((mesh.conn.size, 3)) + 1j * rng.standard_normal(
+        (mesh.conn.size, 3)
+    )
+    out = np.zeros((mesh.nnodes, 3), dtype=np.complex128)
+    smap.add_to(values, out)
+    ref = _reference_scatter(mesh.conn, values, mesh.nnodes, weights=weights)
+    assert np.array_equal(out, ref)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_scatter_map_bitexact_1d(mesh, engine):
+    rng = np.random.default_rng(5)
+    smap = ScatterMap(mesh.conn, mesh.nnodes, force_engine=engine)
+    values = rng.standard_normal(mesh.conn.size)
+    out = np.zeros(mesh.nnodes, dtype=np.float64)
+    smap.add_to(values, out)
+    ref = _reference_scatter(mesh.conn, values, mesh.nnodes)[:, 0]
+    assert np.array_equal(out, ref)
+
+
+def test_slow_scatter_env_gate(mesh, monkeypatch):
+    monkeypatch.delenv("REPRO_SLOW_SCATTER", raising=False)
+    assert not slow_scatter_enabled()
+    monkeypatch.setenv("REPRO_SLOW_SCATTER", "1")
+    assert slow_scatter_enabled()
+    # the gated path still produces the same result (it IS the reference)
+    rng = np.random.default_rng(6)
+    smap = ScatterMap(mesh.conn, mesh.nnodes)
+    values = rng.standard_normal((mesh.conn.size, 2))
+    out = np.zeros((mesh.nnodes, 2), dtype=np.float64)
+    smap.add_to(values, out)
+    assert np.array_equal(out, _reference_scatter(mesh.conn, values, mesh.nnodes))
+
+
+# ---------------------------------------------------------------------------
+# KSOperator fast vs reference apply
+# ---------------------------------------------------------------------------
+def _ops_fast_slow(mesh, monkeypatch, kfrac=None):
+    monkeypatch.delenv("REPRO_SLOW_SCATTER", raising=False)
+    fast = KSOperator(mesh, kfrac=kfrac)
+    monkeypatch.setenv("REPRO_SLOW_SCATTER", "1")
+    slow = KSOperator(mesh, kfrac=kfrac, workspace=Workspace(enabled=False))
+    return fast, slow
+
+
+def test_apply_fast_slow_bitexact_real(mesh, monkeypatch):
+    rng = np.random.default_rng(7)
+    fast, slow = _ops_fast_slow(mesh, monkeypatch)
+    v = rng.standard_normal(mesh.free.size)
+    fast.set_potential(v)
+    slow.set_potential(v)
+    for nrhs in (1, 6):
+        X = rng.standard_normal((mesh.free.size, nrhs))
+        monkeypatch.delenv("REPRO_SLOW_SCATTER")
+        yf = fast.apply(X if nrhs > 1 else X[:, 0]).copy()
+        monkeypatch.setenv("REPRO_SLOW_SCATTER", "1")
+        ys = slow.apply(X if nrhs > 1 else X[:, 0])
+        assert np.array_equal(yf, ys)
+
+
+def test_apply_fast_slow_bitexact_bloch(mesh, monkeypatch):
+    rng = np.random.default_rng(8)
+    kf = (0.25, 0.0, 0.125)
+    fast, slow = _ops_fast_slow(mesh, monkeypatch, kfrac=kf)
+    v = rng.standard_normal(mesh.free.size)
+    fast.set_potential(v)
+    slow.set_potential(v)
+    X = rng.standard_normal((mesh.free.size, 4)) + 1j * rng.standard_normal(
+        (mesh.free.size, 4)
+    )
+    monkeypatch.delenv("REPRO_SLOW_SCATTER")
+    yf = fast.apply(X).copy()
+    monkeypatch.setenv("REPRO_SLOW_SCATTER", "1")
+    ys = slow.apply(X)
+    assert np.array_equal(yf, ys)
+
+
+def test_apply_rejects_aliased_out(mesh):
+    op = KSOperator(mesh)
+    op.set_potential(np.zeros(mesh.free.size))
+    X = np.ones((mesh.free.size, 2))
+    with pytest.raises(ValueError, match="alias"):
+        op.apply(X, out=X)
+
+
+# ---------------------------------------------------------------------------
+# Workspace reuse
+# ---------------------------------------------------------------------------
+def test_workspace_reuses_buffers_across_interleaved_shapes():
+    ws = Workspace()
+    a1 = ws.get("a", (100, 4))
+    b1 = ws.get("b", (50,), dtype=np.complex128)
+    a2 = ws.get("a", (100, 4))
+    b2 = ws.get("b", (50,), dtype=np.complex128)
+    assert a1 is a2 and b1 is b2
+    # same tag, different shape: a distinct pooled buffer, and the first
+    # shape's buffer is still served afterwards (interleaving is safe)
+    a3 = ws.get("a", (100, 8))
+    assert a3 is not a1 and a3.shape == (100, 8)
+    assert ws.get("a", (100, 4)) is a1
+    assert ws.nbytes() > 0
+    ws.clear()
+    assert ws.nbytes() == 0
+
+
+def test_workspace_zero_semantics():
+    ws = Workspace()
+    z = ws.get("z", (8,), zero_on_create=True)
+    assert np.array_equal(z, np.zeros(8))
+    z[:] = 3.0
+    # zero_on_create leaves an existing buffer dirty; zero=True scrubs it
+    assert ws.get("z", (8,), zero_on_create=True)[0] == 3.0
+    assert np.array_equal(ws.get("z", (8,), zero=True), np.zeros(8))
+
+
+def test_workspace_disabled_allocates_fresh():
+    ws = Workspace(enabled=False)
+    a = ws.get("a", (10,), zero=True)
+    b = ws.get("a", (10,), zero=True)
+    assert a is not b
+    assert np.array_equal(a, np.zeros(10))
+
+
+# ---------------------------------------------------------------------------
+# Chebyshev filtering: block-size independence and workspace equivalence
+# ---------------------------------------------------------------------------
+def test_chebyshev_filter_independent_of_block_size(mesh):
+    """Blocked filtering must agree across block sizes.
+
+    BLAS GEMM results legitimately wobble in the last bit with the number
+    of columns (kernel/blocking selection), so cross-block-size agreement
+    is to tight tolerance; but at a *fixed* block size the pooled-buffer
+    path must match the allocate-per-call path bit-for-bit — that is the
+    regression that catches workspace cross-contamination between blocks.
+    """
+    rng = np.random.default_rng(9)
+    op = KSOperator(mesh)
+    op2 = KSOperator(mesh, workspace=Workspace(enabled=False))
+    v = rng.standard_normal(mesh.free.size)
+    op.set_potential(v)
+    op2.set_potential(v)
+    X = rng.standard_normal((mesh.free.size, 10))
+    ref = chebyshev_filter(op, X.copy(), 9, -1.0, 25.0, -6.0).copy()
+    scale = np.abs(ref).max()
+    for bs in (1, 3, 7, 10, 64):
+        out = chebyshev_filter(
+            op, X.copy(), 9, -1.0, 25.0, -6.0, block_size=bs
+        ).copy()
+        assert np.allclose(out, ref, atol=1e-12 * scale, rtol=0.0), (
+            f"block_size={bs} changed the filter beyond GEMM last-bit noise"
+        )
+        bare = chebyshev_filter(op2, X.copy(), 9, -1.0, 25.0, -6.0, block_size=bs)
+        assert np.array_equal(out, bare), (
+            f"block_size={bs}: workspace reuse contaminated a block"
+        )
+
+
+def test_filter_block_workspace_matches_reference(mesh):
+    rng = np.random.default_rng(10)
+    op = KSOperator(mesh)
+    op.set_potential(rng.standard_normal(mesh.free.size))
+    X = rng.standard_normal((mesh.free.size, 5))
+    with_ws = filter_block(op, X.copy(), 12, -0.5, 30.0, -4.0).copy()
+    op2 = KSOperator(mesh, workspace=Workspace(enabled=False))
+    op2.set_potential(op.potential_free)
+    no_ws = filter_block(op2, X.copy(), 12, -0.5, 30.0, -4.0)
+    assert np.array_equal(with_ws, no_ws)
+
+
+# ---------------------------------------------------------------------------
+# Parallel multi-channel ChFES vs serial
+# ---------------------------------------------------------------------------
+@pytest.mark.slow
+def test_parallel_channels_match_serial():
+    from repro.core import DFTCalculation, SCFOptions
+    from repro.materials.lattice import hcp_orthorhombic, supercell
+    from repro.xc.lda import LDA
+
+    lat, sym, frac = hcp_orthorhombic()
+    cfg = supercell(lat, sym, frac, (1, 1, 1), pbc=(True, True, True))
+    kpts = [((0.0, 0.0, 0.0), 0.5), ((0.0, 0.0, 0.5), 0.5)]
+
+    def run(nthreads):
+        opts = SCFOptions(
+            max_iterations=4, temperature=5e-3, num_threads=nthreads
+        )
+        calc = DFTCalculation(
+            cfg, xc=LDA(), cells_per_axis=(2, 3, 3), degree=3,
+            kpoints=kpts, spin_polarized=True, options=opts,
+        )
+        assert len(calc.driver.channels) == 4  # 2 k-points x 2 spins
+        return calc.run()
+
+    serial = run(1)
+    parallel = run(4)
+    # channels are independent and deterministically seeded: the parallel
+    # dispatch must agree with the serial loop to the bit
+    assert parallel.free_energy == serial.free_energy
+    assert parallel.fermi_level == serial.fermi_level
+    assert np.array_equal(parallel.rho_spin, serial.rho_spin)
+    for ep, es in zip(parallel.eigenvalues, serial.eigenvalues):
+        assert np.array_equal(ep, es)
+
+
+# ---------------------------------------------------------------------------
+# Cached Lanczos upper bound
+# ---------------------------------------------------------------------------
+def _h2_driver(monkeypatch, refresh_dv):
+    from repro.atoms.pseudo import AtomicConfiguration
+    from repro.core import DFTCalculation, SCFOptions
+    from repro.core import scf as scf_mod
+    from repro.xc.lda import LDA
+
+    calls = []
+    real = scf_mod.lanczos_upper_bound
+    monkeypatch.setattr(
+        scf_mod,
+        "lanczos_upper_bound",
+        lambda op, k=12: calls.append(1) or real(op, k=k),
+    )
+    config = AtomicConfiguration(["H", "H"], [[0, 0, 0], [1.4, 0, 0]])
+    calc = DFTCalculation(
+        config, xc=LDA(), padding=6.0, cells_per_axis=3, degree=3,
+        options=SCFOptions(max_iterations=25, lanczos_refresh_dv=refresh_dv),
+    )
+    return calc, calls
+
+
+@pytest.mark.slow
+def test_lanczos_cache_skips_recomputation(monkeypatch):
+    """A positive drift threshold skips most Lanczos runs; the Weyl-shifted
+    bound stays a valid filter window and the energy agrees to SCF
+    tolerance.  The default 0.0 threshold recomputes per step (bit-inert)."""
+    calc0, calls0 = _h2_driver(monkeypatch, refresh_dv=0.0)
+    res0 = calc0.run()
+    calc1, calls1 = _h2_driver(monkeypatch, refresh_dv=0.05)
+    res1 = calc1.run()
+    assert res0.converged and res1.converged
+    assert len(calls0) >= res0.n_iterations  # at least one per SCF step
+    assert len(calls1) < len(calls0) / 2  # the cache actually engages
+    assert abs(res1.free_energy - res0.free_energy) < 1e-6
+    for ch0, ch1 in zip(calc0.driver.channels, calc1.driver.channels):
+        # the cached (shifted) bound must still upper-bound the spectrum
+        assert ch1.upper_bound >= ch0.evals.max()
