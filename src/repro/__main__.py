@@ -5,7 +5,14 @@ Commands
 ``info``
     Package, substrate and machine-model summary.
 ``scf MOLECULE``
-    Ground-state SCF of a library molecule (LDA/PBE/MLXC).
+    Ground-state SCF of a library molecule (LDA/PBE/MLXC).  With
+    ``--checkpoint PATH`` the loop state is snapshotted every iteration
+    (``--checkpoint-every N`` to thin), ready for ``resume``.
+``resume PATH``
+    Continue an interrupted ``scf --checkpoint`` run from its checkpoint
+    file — the resumed trajectory matches the uninterrupted run bit for
+    bit.  Chaos drills: set ``REPRO_FAULTS="site:iter[:kind]"`` to inject
+    deterministic faults (see :mod:`repro.resilience`).
 ``perfmodel [SYSTEM]``
     Modeled Table-3 style breakdown for a paper workload (``--json`` for
     machine-readable output).
@@ -53,11 +60,23 @@ def _run_library_scf(args):
     symbols, positions, *_ = MOLECULE_LIBRARY[args.molecule]
     config = AtomicConfiguration(list(symbols), np.asarray(positions, float))
     xc = {"lda": LDA, "pbe": PBE}[args.xc]()
+    options = SCFOptions(max_iterations=args.max_scf, verbose=True)
+    if getattr(args, "checkpoint", None):
+        options = SCFOptions(
+            max_iterations=args.max_scf, verbose=True,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_metadata={
+                "molecule": args.molecule, "xc": args.xc,
+                "degree": args.degree, "cells": args.cells,
+                "max_scf": args.max_scf,
+            },
+        )
     calc = DFTCalculation(
         config, xc=xc, degree=args.degree, cells_per_axis=args.cells,
-        options=SCFOptions(max_iterations=args.max_scf, verbose=True),
+        options=options,
     )
-    return xc.name, calc.run()
+    return xc.name, calc.run(resume_from=getattr(args, "resume_from", None))
 
 
 def _print_profile(agg) -> None:
@@ -91,9 +110,35 @@ def _cmd_scf(args) -> int:
     print(f"E({args.molecule}, {xc_name}) = {res.energy:+.6f} Ha  "
           f"gap = {homo_lumo_gap(res) * 27.2114:.2f} eV  "
           f"converged={res.converged}")
+    if res.degradation:
+        print(f"degraded: {res.degradation.summary()}")
     if agg is not None:
         _print_profile(agg)
     return 0 if res.converged else 1
+
+
+def _cmd_resume(args) -> int:
+    """Continue an interrupted ``scf --checkpoint`` run bit-for-bit."""
+    from repro.core.io import load_scf_state
+
+    state = load_scf_state(args.checkpoint)
+    meta = state["metadata"]
+    required = ("molecule", "xc", "degree", "cells", "max_scf")
+    missing = [k for k in required if k not in meta]
+    if missing:
+        print(f"checkpoint {args.checkpoint!r} lacks CLI metadata {missing}; "
+              "it was not written by `python -m repro scf --checkpoint`")
+        return 2
+    args.molecule = meta["molecule"]
+    args.xc = meta["xc"]
+    args.degree = int(meta["degree"])
+    args.cells = int(meta["cells"])
+    if args.max_scf is None:
+        args.max_scf = int(meta["max_scf"])
+    args.resume_from = args.checkpoint
+    print(f"resuming {args.molecule} ({args.xc}) from iteration "
+          f"{state['iteration']} of {args.checkpoint}")
+    return _cmd_scf(args)
 
 
 def _cmd_trace(args) -> int:
@@ -191,6 +236,14 @@ def main(argv: list[str] | None = None) -> int:
             "--profile", action="store_true",
             help="print the reproscope kernel breakdown after the run",
         )
+        p.add_argument(
+            "--checkpoint", metavar="PATH", default=None,
+            help="write a resumable mid-run checkpoint to PATH",
+        )
+        p.add_argument(
+            "--checkpoint-every", type=int, default=1, metavar="N",
+            help="snapshot every N SCF iterations (default: 1)",
+        )
 
     p = sub.add_parser("scf")
     _add_scf_args(p)
@@ -206,6 +259,17 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"
     )
+    p = sub.add_parser("resume", help="continue an scf --checkpoint run")
+    p.add_argument("checkpoint", help="checkpoint written by scf --checkpoint")
+    p.add_argument(
+        "--max-scf", type=int, default=None,
+        help="override the checkpointed iteration budget",
+    )
+    p.add_argument("--checkpoint-every", type=int, default=1, metavar="N")
+    p.add_argument(
+        "--profile", action="store_true",
+        help="print the reproscope kernel breakdown after the run",
+    )
     sub.add_parser("systems")
     sub.add_parser("lint", help="run the reprolint static analyzer")
     args = ap.parse_args(argv)
@@ -214,6 +278,7 @@ def main(argv: list[str] | None = None) -> int:
         "scf": _cmd_scf,
         "trace": _cmd_trace,
         "perfmodel": _cmd_perfmodel,
+        "resume": _cmd_resume,
         "systems": _cmd_systems,
     }[args.command](args)
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.obs import kernel_region
+from repro.resilience import faults as _faults
 
 __all__ = ["lanczos_upper_bound", "chebyshev_filter", "filter_block"]
 
@@ -88,6 +89,8 @@ def filter_block(
             Ynew = (op.apply(Y) - c * Y) * (2.0 * sigma2 / e) - (sigma * sigma2) * X
             X, Y = Y, Ynew
             sigma = sigma2
+        if _faults._PLAN is not None:  # reprochaos site (no-op unarmed)
+            _faults.fault_point("filter_block", Y)
         return Y
     dt = np.result_type(op.dtype, X.dtype)
     U = ws.get("cf_u", X.shape, dt)
@@ -111,6 +114,8 @@ def filter_block(
         Ynew -= U
         X, Y = Y, Ynew
         sigma = sigma2
+    if _faults._PLAN is not None:  # reprochaos site (no-op unarmed)
+        _faults.fault_point("filter_block", Y)
     return Y
 
 

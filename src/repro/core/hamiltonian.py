@@ -116,6 +116,20 @@ class Electrostatics:
         self._v_prev = res.potential
         return res.potential
 
+    @property
+    def warm_start(self) -> np.ndarray | None:
+        """Previous Poisson solution, the PCG warm start of the next solve.
+
+        Loop-carried state: a mid-run checkpoint must persist it, or a
+        resumed SCF takes a different PCG trajectory (same answer within
+        ``tol``, different bits) than the uninterrupted run.
+        """
+        return self._v_prev
+
+    @warm_start.setter
+    def warm_start(self, v: np.ndarray | None) -> None:
+        self._v_prev = None if v is None else np.asarray(v)
+
     def electrostatic_energy(self, rho_total: np.ndarray, v_tot: np.ndarray) -> float:
         """``(1/2) int (rho - rho_c) v_tot  -  E_self``.
 

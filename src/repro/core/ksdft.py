@@ -140,10 +140,22 @@ class DFTCalculation:
         return self.driver.options
 
     def run(
-        self, rho0: np.ndarray | None = None, initial_polarization: float = 0.0
+        self,
+        rho0: np.ndarray | None = None,
+        initial_polarization: float = 0.0,
+        resume_from: str | None = None,
     ) -> SCFResult:
-        """Run the SCF to convergence and return the ground state."""
-        return self.driver.run(rho0=rho0, initial_polarization=initial_polarization)
+        """Run the SCF to convergence and return the ground state.
+
+        ``resume_from`` continues from a mid-run v2 checkpoint (see
+        :func:`repro.core.io.save_scf_state`), reproducing the
+        uninterrupted run bit for bit.
+        """
+        return self.driver.run(
+            rho0=rho0,
+            initial_polarization=initial_polarization,
+            resume_from=resume_from,
+        )
 
 
 def homo_lumo_gap(result: SCFResult) -> float:

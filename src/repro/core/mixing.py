@@ -55,6 +55,28 @@ class AndersonMixer:
         self._rho.clear()
         self._res.clear()
 
+    def get_history(self) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Copies of the (rho_in, residual) history, oldest first."""
+        return (
+            [r.copy() for r in self._rho],
+            [r.copy() for r in self._res],
+        )
+
+    def set_history(self, rho: list[np.ndarray], res: list[np.ndarray]) -> None:
+        """Replace the history window (checkpoint resume).
+
+        Entries beyond ``history`` are dropped from the old end, matching
+        what the deque would have retained.
+        """
+        if len(rho) != len(res):
+            raise ValueError("rho and residual histories must have equal length")
+        self._rho.clear()
+        self._res.clear()
+        for r in rho:
+            self._rho.append(np.asarray(r).copy())
+        for r in res:
+            self._res.append(np.asarray(r).copy())
+
     def mix(self, rho_in: np.ndarray, rho_out: np.ndarray) -> np.ndarray:
         residual = rho_out - rho_in
         self._rho.append(rho_in.copy())

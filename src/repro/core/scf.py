@@ -32,14 +32,22 @@ from repro.atoms.pseudo import AtomicConfiguration
 from repro.fem.assembly import KSOperator
 from repro.fem.mesh import Mesh3D
 from repro.obs import SCF_ITERATION, attach_to, current_span, trace_region
+from repro.resilience import (
+    DegradationReport,
+    ResilienceError,
+    RetryPolicy,
+    ScatterFallback,
+)
+from repro.resilience import faults as _faults
 from repro.xc.base import XCFunctional
 
 from .chebyshev import chebyshev_filter, lanczos_upper_bound
 from .density import atomic_guess_density, density_from_channels
 from .energy import EnergyBreakdown, total_energy
 from .hamiltonian import Electrostatics
+from .io import load_scf_state, save_scf_state
 from .mixing import AndersonMixer, LinearMixer
-from .occupations import find_fermi_level
+from .occupations import OccupationSet, find_fermi_level
 from .orthonorm import cholesky_orthonormalize
 from .rayleigh_ritz import rayleigh_ritz
 
@@ -92,6 +100,17 @@ class SCFOptions:
     #: REPRO_NUM_THREADS (default 1 = serial)
     num_threads: int | None = None
     verbose: bool = False
+    #: mid-run checkpointing: write a v2 state file here every
+    #: ``checkpoint_every`` iterations (and on convergence); resume with
+    #: ``SCFDriver.run(resume_from=...)``
+    checkpoint_path: str | None = None
+    checkpoint_every: int = 1
+    #: free-form dict stored in the checkpoint (the CLI uses it to rebuild
+    #: the calculation for ``python -m repro resume``)
+    checkpoint_metadata: dict | None = None
+    #: recovery budget for faulted channel eigensolves (see
+    #: :mod:`repro.resilience`)
+    retry_policy: RetryPolicy = RetryPolicy()
 
 
 @dataclass
@@ -111,6 +130,8 @@ class SCFResult:
     v_xc_spin: np.ndarray
     breakdown: EnergyBreakdown
     history: list[dict] = field(default_factory=list)
+    #: fallbacks taken while the run survived injected/real faults
+    degradation: DegradationReport | None = None
 
     @property
     def rho(self) -> np.ndarray:
@@ -168,10 +189,17 @@ class SCFDriver:
             raise ValueError(
                 f"nstates={nstates} cannot hold {config.n_electrons} electrons"
             )
+        self.degradation = DegradationReport()
+        self._scatter = ScatterFallback()
+        self._degraded_serial = False
+        self._iteration = 0
 
     # ------------------------------------------------------------------
     def run(
-        self, rho0: np.ndarray | None = None, initial_polarization: float = 0.0
+        self,
+        rho0: np.ndarray | None = None,
+        initial_polarization: float = 0.0,
+        resume_from: str | None = None,
     ) -> SCFResult:
         opts = self.options
         mesh = self.mesh
@@ -197,7 +225,167 @@ class SCFDriver:
         converged = False
         it = 0
         occset = None
-        for it in range(1, opts.max_iterations + 1):
+        self.degradation = DegradationReport()
+        self._scatter = ScatterFallback()
+        self._degraded_serial = False
+        self._iteration = 0
+        start_it = 1
+        if resume_from is not None:
+            state = load_scf_state(resume_from, mesh)
+            rho_spin = state["rho_spin"]
+            prev_energy = state["free_energy"]
+            converged = state["converged"]
+            it = state["iteration"]
+            history = list(state["history"])
+            occset = self._restore_state(state, mixer)
+            start_it = it + 1
+        try:
+            converged, it, occset, rho_spin, prev_energy = self._scf_loop(
+                start_it,
+                converged,
+                it,
+                occset,
+                rho_spin,
+                prev_energy,
+                mixer,
+                kerker,
+                history,
+                degeneracy,
+                n_e,
+            )
+        finally:
+            # never leak a degraded scatter setting into the next run
+            self._scatter.restore()
+
+        # Final self-consistent energy at the output density.
+        v_tot = self.electrostatics.solve(rho_spin.sum(axis=1), tol=opts.poisson_tol)
+        v_xc, exc = self.xc.potential_and_energy(mesh, rho_spin)
+        v_eff = v_tot[:, None] + v_xc
+        breakdown = total_energy(
+            mesh,
+            [ch.evals for ch in self.channels],
+            occset.occupations,
+            [ch.weight for ch in self.channels],
+            rho_spin,
+            v_eff,
+            v_tot,
+            self.electrostatics.core_density,
+            self.electrostatics.self_energy,
+            exc,
+            occset.entropy,
+            opts.temperature,
+        )
+        if not np.isfinite(breakdown.free_energy):
+            raise ResilienceError(
+                "scf", "non-finite free energy in the final evaluation"
+            )
+        return SCFResult(
+            converged=converged,
+            n_iterations=it,
+            energy=breakdown.total,
+            free_energy=breakdown.free_energy,
+            fermi_level=occset.fermi_level,
+            eigenvalues=[ch.evals for ch in self.channels],
+            occupations=occset.occupations,
+            channels=self.channels,
+            rho_spin=rho_spin,
+            v_tot=v_tot,
+            v_xc_spin=v_xc,
+            breakdown=breakdown,
+            history=history,
+            degradation=self.degradation,
+        )
+
+    def _restore_state(self, state: dict, mixer) -> OccupationSet:
+        """Load every piece of loop-carried state from a v2 checkpoint."""
+        if len(state["channels"]) != len(self.channels):
+            raise ValueError(
+                "checkpoint channel count does not match this calculation "
+                f"({len(state['channels'])} vs {len(self.channels)})"
+            )
+        for ch, st in zip(self.channels, state["channels"]):
+            if st["spin"] != ch.spin or not np.allclose(st["kfrac"], ch.kfrac):
+                raise ValueError(
+                    "checkpoint (k, spin) channel layout does not match "
+                    "this calculation"
+                )
+            ch.psi = st["psi"]
+            ch.evals = st["evals"]
+            ch.upper_bound = st["upper_bound"]
+            ch.bound_base = st["bound_base"]
+            ch.bound_v = st["bound_v"]
+        if isinstance(mixer, AndersonMixer):
+            mixer.set_history(state["mixer_rho"], state["mixer_res"])
+        self.electrostatics.warm_start = state["v_prev"]
+        if self.ledger is not None and state["ledger_snapshot"]:
+            self.ledger.restore(state["ledger_snapshot"])
+        return OccupationSet(
+            occupations=[np.asarray(o) for o in state["occupations"]],
+            fermi_level=state["fermi_level"],
+            entropy=state["entropy"],
+        )
+
+    def _write_checkpoint(
+        self, it: int, converged: bool, free_energy: float,
+        rho_spin: np.ndarray, occset: OccupationSet, mixer, history: list,
+    ) -> None:
+        mixer_rho: list = []
+        mixer_res: list = []
+        if isinstance(mixer, AndersonMixer):
+            mixer_rho, mixer_res = mixer.get_history()
+        save_scf_state(
+            self.options.checkpoint_path,
+            self.mesh,
+            iteration=it,
+            converged=converged,
+            free_energy=free_energy,
+            rho_spin=rho_spin,
+            fermi_level=occset.fermi_level,
+            entropy=occset.entropy,
+            occupations=occset.occupations,
+            channels=[
+                {
+                    "kfrac": ch.kfrac,
+                    "weight": ch.weight,
+                    "spin": ch.spin,
+                    "psi": ch.psi,
+                    "evals": ch.evals,
+                    "upper_bound": ch.upper_bound,
+                    "bound_base": ch.bound_base,
+                    "bound_v": ch.bound_v,
+                }
+                for ch in self.channels
+            ],
+            mixer_rho=mixer_rho,
+            mixer_res=mixer_res,
+            v_prev=self.electrostatics.warm_start,
+            ledger_snapshot=(
+                self.ledger.snapshot() if self.ledger is not None else None
+            ),
+            history=history,
+            metadata=self.options.checkpoint_metadata,
+        )
+
+    def _scf_loop(
+        self,
+        start_it: int,
+        converged: bool,
+        it: int,
+        occset,
+        rho_spin: np.ndarray,
+        prev_energy: float,
+        mixer,
+        kerker,
+        history: list,
+        degeneracy: float,
+        n_e: float,
+    ):
+        opts = self.options
+        mesh = self.mesh
+        if converged:  # resumed from a converged checkpoint: nothing to do
+            return converged, it, occset, rho_spin, prev_energy
+        for it in range(start_it, opts.max_iterations + 1):
+            self._iteration = it
             with trace_region(SCF_ITERATION, iteration=it) as it_span:
                 # EP span opened by Electrostatics.solve itself
                 v_tot = self.electrostatics.solve(
@@ -240,6 +428,14 @@ class SCFDriver:
                 residual = float(
                     np.sqrt(mesh.integrate(np.einsum("is,is->i", dr, dr)))
                 ) / n_e
+                # resilience sentinel: a poison that slipped past recovery
+                # dies here as a structured error, never as a NaN energy
+                if not (np.isfinite(breakdown.free_energy) and np.isfinite(residual)):
+                    raise ResilienceError(
+                        "scf",
+                        f"non-finite free energy or density residual "
+                        f"at iteration {it}",
+                    )
                 d_energy = abs(breakdown.free_energy - prev_energy) / n_e
                 prev_energy = breakdown.free_energy
                 if opts.verbose:  # pragma: no cover - logging
@@ -267,42 +463,15 @@ class SCFDriver:
                     "seconds": it_span.duration,
                 }
             )
+            if opts.checkpoint_path is not None and (
+                converged or it % max(opts.checkpoint_every, 1) == 0
+            ):
+                self._write_checkpoint(
+                    it, converged, prev_energy, rho_spin, occset, mixer, history
+                )
             if converged:
                 break
-
-        # Final self-consistent energy at the output density.
-        v_tot = self.electrostatics.solve(rho_spin.sum(axis=1), tol=opts.poisson_tol)
-        v_xc, exc = self.xc.potential_and_energy(mesh, rho_spin)
-        v_eff = v_tot[:, None] + v_xc
-        breakdown = total_energy(
-            mesh,
-            [ch.evals for ch in self.channels],
-            occset.occupations,
-            [ch.weight for ch in self.channels],
-            rho_spin,
-            v_eff,
-            v_tot,
-            self.electrostatics.core_density,
-            self.electrostatics.self_energy,
-            exc,
-            occset.entropy,
-            opts.temperature,
-        )
-        return SCFResult(
-            converged=converged,
-            n_iterations=it,
-            energy=breakdown.total,
-            free_energy=breakdown.free_energy,
-            fermi_level=occset.fermi_level,
-            eigenvalues=[ch.evals for ch in self.channels],
-            occupations=occset.occupations,
-            channels=self.channels,
-            rho_spin=rho_spin,
-            v_tot=v_tot,
-            v_xc_spin=v_xc,
-            breakdown=breakdown,
-            history=history,
-        )
+        return converged, it, occset, rho_spin, prev_energy
 
     # ------------------------------------------------------------------
     def _effective_threads(self) -> int:
@@ -321,26 +490,89 @@ class SCFDriver:
         GEMMs.  Each worker adopts the caller's open span via
         ``attach_to``, so the per-channel ChFES spans land under the right
         SCF iteration in the profile tree.
+
+        A channel whose retries are exhausted in the parallel pool does not
+        abort the run: the pool is degraded to serial execution (recorded
+        in the degradation report) and the failed channels are re-solved
+        with a fresh retry budget.  Only a serial failure escapes, as a
+        structured ``ResilienceError``.
         """
         nthreads = min(self._effective_threads(), len(self.channels))
+        if self._degraded_serial:
+            nthreads = 1
         if nthreads <= 1:
             for ch in self.channels:
-                self._solve_one_channel(ch, v_eff)
+                self._solve_channel_resilient(ch, v_eff)
             return
         parent = current_span()
 
         def worker(ch: KSChannel) -> None:
             with attach_to(parent):
-                self._solve_one_channel(ch, v_eff)
+                self._solve_channel_resilient(ch, v_eff)
 
+        failed: list[tuple[KSChannel, ResilienceError]] = []
         with ThreadPoolExecutor(
             max_workers=nthreads, thread_name_prefix="chfes"
         ) as pool:
             futures = [pool.submit(worker, ch) for ch in self.channels]
-            for f in futures:
-                f.result()  # re-raise worker exceptions; join before parent closes
+            for ch, f in zip(self.channels, futures):
+                try:
+                    f.result()  # join before the parent span closes
+                except ResilienceError as err:
+                    failed.append((ch, err))
+        if failed:
+            self._degraded_serial = True
+            self.degradation.record(
+                "channel",
+                "parallel->serial",
+                detail=f"{len(failed)} channel(s) exhausted retries: "
+                f"{failed[0][1]}",
+                iteration=self._iteration,
+            )
+            for ch, _ in failed:
+                self._solve_channel_resilient(ch, v_eff)
+
+    def _solve_channel_resilient(self, ch: KSChannel, v_eff: np.ndarray) -> None:
+        """One channel solve under the retry policy.
+
+        The eigensolver only ever *reassigns* ``psi``/``evals`` (it never
+        writes into the previous arrays), so restoring the pre-attempt
+        references is enough to rewind a failed attempt.  The full-orbital
+        finiteness scan runs only while a fault plan is armed — unfaulted
+        runs pay a single O(nstates) eigenvalue check per channel.
+        """
+        policy = self.options.retry_policy
+        backup = (ch.psi, ch.evals, ch.upper_bound, ch.bound_base, ch.bound_v)
+
+        def attempt() -> bool:
+            self._solve_one_channel(ch, v_eff)
+            return True
+
+        def validate(_: bool) -> bool:
+            if ch.evals is None or not np.all(np.isfinite(ch.evals)):
+                return False
+            if _faults._PLAN is not None and ch.psi is not None:
+                if not np.all(np.isfinite(ch.psi)):
+                    return False
+            return True
+
+        def before_retry(n: int) -> None:
+            ch.psi, ch.evals, ch.upper_bound, ch.bound_base, ch.bound_v = backup
+            # last rung before giving up: trade the precomputed scatter maps
+            # for the reference scatter (bit-identical, slower)
+            if n == policy.max_retries and self._scatter.engage():
+                self.degradation.record(
+                    "channel",
+                    "scatter->reference",
+                    detail="last-resort retry uses the reference scatter",
+                    iteration=self._iteration,
+                )
+
+        policy.run(attempt, "channel", validate=validate, before_retry=before_retry)
 
     def _solve_one_channel(self, ch: KSChannel, v_eff: np.ndarray) -> None:
+        if _faults._PLAN is not None:
+            _faults.fault_point("channel")
         s = ch.spin if ch.spin is not None else 0
         ch.op.set_potential(v_eff[:, s])
         self._eigensolve(ch, first=(ch.psi is None))

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.resilience import faults as _faults
 from repro.tools.contracts import shape_contract
 
 from .mesh import Mesh3D
@@ -351,6 +352,8 @@ class KSOperator:
             # separable nonlocal term: two skinny GEMMs (rank-k update)
             proj = self._nl_B.conj().T @ Xb
             y += self._nl_B @ (self._nl_D[:, None] * proj)
+        if _faults._PLAN is not None:  # reprochaos site (no-op unarmed)
+            _faults.fault_point("ks_apply", y)
         if out is not None:
             return out
         return y[:, 0] if squeeze else y

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.fem.mesh import Mesh3D
 from repro.obs import trace_region
+from repro.resilience import faults as _faults
 
 from .cluster import VirtualCluster
 
@@ -67,6 +68,8 @@ class DistributedKSOperator:
             out = self.cluster.apply_stiffness(full)
             y = 0.5 * self._dinvsqrt[self.mesh.free, None] * out[self.mesh.free]
             y += self._v_free[:, None] * Xb
+        if _faults._PLAN is not None:  # reprochaos site (no-op unarmed)
+            _faults.fault_point("ks_apply", y)
         return y[:, 0] if squeeze else y
 
     def diagonal(self) -> np.ndarray:

@@ -114,6 +114,26 @@ class FlopLedger:
         with self._lock:
             self._tally.clear()
 
+    def snapshot(self) -> dict[str, tuple[float, float, float, int]]:
+        """Checkpointable copy of the tally (kernel -> fp64/fp32/sec/calls)."""
+        with self._lock:
+            return {
+                k: (t.flops_fp64, t.flops_fp32, t.seconds, t.calls)
+                for k, t in self._tally.items()
+            }
+
+    def restore(self, snap: dict[str, tuple[float, float, float, int]]) -> None:
+        """Replace the tally with a :meth:`snapshot` (checkpoint resume)."""
+        with self._lock:
+            self._tally.clear()
+            for k, (f64, f32, sec, calls) in snap.items():
+                self._tally[k] = KernelTally(
+                    flops_fp64=float(f64),
+                    flops_fp32=float(f32),
+                    seconds=float(sec),
+                    calls=int(calls),
+                )
+
     def summary(self) -> str:
         lines = [f"{'kernel':<12} {'GFLOP':>12} {'fp32 share':>11} {'time (s)':>10}"]
         for k in self.kernels():

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.atoms.pseudo import AtomicConfiguration
 from repro.core.chebyshev import chebyshev_filter, lanczos_upper_bound
+from repro.core.io import load_invdft_state, save_invdft_state
 from repro.core.occupations import find_fermi_level
 from repro.core.orthonorm import cholesky_orthonormalize
 from repro.core.rayleigh_ritz import rayleigh_ritz
@@ -34,6 +35,7 @@ from repro.fem.assembly import KSOperator
 from repro.fem.mesh import Mesh3D
 from repro.fem.poisson import PoissonSolver, multipole_boundary_values
 from repro.obs import trace_region
+from repro.resilience import ResilienceError, RetryPolicy
 
 from .adjoint import adjoint_rhs, potential_gradient, solve_adjoint
 
@@ -70,6 +72,7 @@ class InverseDFT:
         minres_maxiter: int = 300,
         use_preconditioner: bool = False,
         ledger=None,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         self.mesh = mesh
         self.config = config
@@ -83,6 +86,7 @@ class InverseDFT:
         self.minres_maxiter = minres_maxiter
         self.use_preconditioner = use_preconditioner
         self.ledger = ledger
+        self.retry_policy = retry_policy or RetryPolicy()
 
         self.n_up = float(mesh.integrate(self.rho_t[:, 0]))
         self.n_dn = float(mesh.integrate(self.rho_t[:, 1]))
@@ -182,6 +186,10 @@ class InverseDFT:
         weight: np.ndarray | None = None,
         farfield: str = "frozen",
         verbose: bool = False,
+        checkpoint_path: str | None = None,
+        checkpoint_every: int = 1,
+        checkpoint_metadata: dict | None = None,
+        resume_from: str | None = None,
     ) -> InverseDFTResult:
         """Iterate to the exact XC potential.
 
@@ -204,6 +212,11 @@ class InverseDFT:
             asymptote about the charge centroid — the paper's Sec 5.1
             far-field condition, which removes the Gaussian-density
             far-field artifacts it discusses.
+        checkpoint_path / checkpoint_every / resume_from:
+            Mid-run v2 checkpointing (see :mod:`repro.core.io`): the loop
+            state is snapshotted every ``checkpoint_every`` iterations, and
+            ``resume_from`` continues an interrupted optimization with the
+            same trajectory as the uninterrupted run.
         """
         mesh = self.mesh
         w = np.ones(mesh.nnodes) if weight is None else np.asarray(weight)
@@ -222,7 +235,41 @@ class InverseDFT:
         err = np.inf
         occ = [np.zeros(self.nstates), np.zeros(self.nstates)]
         rho_ks = self.rho_t.copy()
-        for it in range(1, max_iterations + 1):
+        start_it = 1
+        if resume_from is not None:
+            st = load_invdft_state(resume_from, nnodes=mesh.nnodes)
+            v_xc = st["v_xc"]
+            v_backup = st["v_backup"]
+            err = st["err"]
+            err_prev = st["err_prev"]
+            eta = st["eta"]
+            self._psi = list(st["psi"])
+            self._evals = list(st["evals"])
+            history = list(st["history"])
+            it = st["iteration"]
+            start_it = it + 1
+
+        def save_ck(iteration: int) -> None:
+            if checkpoint_path is None:
+                return
+            if iteration % max(checkpoint_every, 1) != 0:
+                return
+            save_invdft_state(
+                checkpoint_path,
+                nnodes=mesh.nnodes,
+                iteration=iteration,
+                v_xc=v_xc,
+                v_backup=v_backup,
+                err=err,
+                err_prev=err_prev,
+                eta=eta,
+                psi=self._psi,
+                evals=self._evals,
+                history=history,
+                metadata=checkpoint_metadata,
+            )
+
+        for it in range(start_it, max_iterations + 1):
             with trace_region("invDFT-iteration", iteration=it):
                 for s in (0, 1):
                     self._eigensolve(s, v_xc[:, s], first=self._psi[s] is None)
@@ -234,6 +281,12 @@ class InverseDFT:
                 rho_ks = self._density(occ)
                 dr = rho_ks - self.rho_t
                 err = float(mesh.integrate(w * np.einsum("is,is->i", dr, dr)))
+                # resilience sentinel: never let a NaN objective drive the
+                # optimization (or reach the caller) silently
+                if not np.isfinite(err):
+                    raise ResilienceError(
+                        "invdft", f"non-finite density error at iteration {it}"
+                    )
                 history.append({"iteration": it, "density_error": err, "eta": eta})
                 if verbose:  # pragma: no cover
                     print(f"invDFT {it:4d}  err = {err:.6e}  eta = {eta:.3f}")
@@ -247,6 +300,7 @@ class InverseDFT:
                     eta *= 0.5
                     if eta < 1e-6:
                         break
+                    save_ck(it)
                     continue
                 v_backup = v_xc.copy()
                 err_prev = err
@@ -256,18 +310,23 @@ class InverseDFT:
                         G = adjoint_rhs(
                             mesh, self._psi[s], occ[s], w * dr[:, s]
                         )
-                        sol = solve_adjoint(
-                            self.ops[s],
-                            self._psi[s],
-                            self._evals[s],
-                            G,
-                            tol=self.minres_tol,
-                            maxiter=self.minres_maxiter,
-                            use_preconditioner=self.use_preconditioner,
-                            ledger=self.ledger,
+                        sol = self.retry_policy.run(
+                            lambda: solve_adjoint(
+                                self.ops[s],
+                                self._psi[s],
+                                self._evals[s],
+                                G,
+                                tol=self.minres_tol,
+                                maxiter=self.minres_maxiter,
+                                use_preconditioner=self.use_preconditioner,
+                                ledger=self.ledger,
+                            ),
+                            "minres",
+                            validate=lambda r: bool(np.all(np.isfinite(r.x))),
                         )
                         u = potential_gradient(mesh, self._psi[s], sol.x)
                         v_xc[:, s] -= eta * u
+                save_ck(it)
         return InverseDFTResult(
             v_xc=v_xc,
             rho_ks=rho_ks,

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.obs import add_counter, trace_region
+from repro.resilience import faults as _faults
 
 __all__ = ["BlockMinresResult", "block_minres"]
 
@@ -119,6 +120,14 @@ def _block_minres(
         s = 1.0 / beta
         np.multiply(y, s[None, :], out=v)
         y = apply_A(v)
+        if _faults._PLAN is not None:  # reprochaos site (no-op unarmed)
+            _faults.fault_point("minres", y)
+            if not np.all(np.isfinite(y)):
+                # retryable (the caller's RetryPolicy restarts the solve);
+                # NOT a ResilienceError, which would mean recovery exhausted
+                raise RuntimeError(
+                    f"non-finite Krylov vector at MINRES iteration {it}"
+                )
         np.multiply(shifts[None, :], v, out=tmp)
         y -= tmp
         if project is not None:

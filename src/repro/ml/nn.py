@@ -208,3 +208,20 @@ class Adam:
         mhat = self._m / (1 - self.beta1**self._t)
         vhat = self._v / (1 - self.beta2**self._t)
         return theta - self.lr * mhat / (np.sqrt(vhat) + self.eps)
+
+    def state_dict(self) -> dict:
+        """Checkpointable optimizer state (moments + step count).
+
+        The moments bias every future update, so a bit-for-bit training
+        resume must restore them along with the parameters.
+        """
+        return {
+            "m": None if self._m is None else self._m.copy(),
+            "v": None if self._v is None else self._v.copy(),
+            "t": self._t,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._m = None if state["m"] is None else np.asarray(state["m"]).copy()
+        self._v = None if state["v"] is None else np.asarray(state["v"]).copy()
+        self._t = int(state["t"])

@@ -29,7 +29,9 @@ import numpy as np
 
 from repro.fem.mesh import Mesh3D
 from repro.constants import RHO_FLOOR
+from repro.core.io import load_mlxc_state, save_mlxc_state
 from repro.obs import trace_region
+from repro.resilience import ResilienceError
 
 from .nn import Adam
 
@@ -218,20 +220,45 @@ class MLXCTrainer:
 
     # ------------------------------------------------------------------
     def train(
-        self, epochs: int = 200, lr: float = 2e-3, verbose: bool = False
+        self,
+        epochs: int = 200,
+        lr: float = 2e-3,
+        verbose: bool = False,
+        checkpoint_path: str | None = None,
+        checkpoint_every: int = 1,
+        checkpoint_metadata: dict | None = None,
+        resume_from: str | None = None,
     ) -> list[dict]:
-        """Run Adam; returns the loss history."""
+        """Run Adam; returns the loss history.
+
+        ``checkpoint_path`` snapshots (theta, Adam moments, loss history)
+        every ``checkpoint_every`` epochs; ``resume_from`` continues an
+        interrupted training run on the identical parameter trajectory.
+        """
         net = self.functional.network
         opt = Adam(lr=lr)
         theta = net.get_params()
         history = []
+        start_ep = 0
+        if resume_from is not None:
+            st = load_mlxc_state(resume_from, n_params=net.n_params)
+            theta = st["theta"]
+            opt.load_state_dict(st["opt_state"])
+            history = list(st["history"])
+            start_ep = st["epoch"] + 1
         with trace_region(
             "MLXC-train", epochs=epochs, nsamples=len(self.samples)
         ):
-            for ep in range(epochs):
+            for ep in range(start_ep, epochs):
                 with trace_region("MLXC-epoch", epoch=ep):
                     net.set_params(theta)
                     losses, grad = self.loss_and_grad()
+                    # resilience sentinel: a NaN loss corrupts theta through
+                    # the optimizer; fail structured instead
+                    if not np.isfinite(losses["total"]):
+                        raise ResilienceError(
+                            "mlxc", f"non-finite training loss at epoch {ep}"
+                        )
                     history.append(losses)
                     if verbose and (ep % 20 == 0 or ep == epochs - 1):  # pragma: no cover
                         print(
@@ -239,6 +266,17 @@ class MLXCTrainer:
                             f"E {losses['energy']:.3e} v {losses['potential']:.3e}"
                         )
                     theta = opt.step(theta, grad)
+                    if checkpoint_path is not None and (
+                        ep % max(checkpoint_every, 1) == 0 or ep == epochs - 1
+                    ):
+                        save_mlxc_state(
+                            checkpoint_path,
+                            epoch=ep,
+                            theta=theta,
+                            opt_state=opt.state_dict(),
+                            history=history,
+                            metadata=checkpoint_metadata,
+                        )
         net.set_params(theta)
         return history
 

@@ -45,6 +45,7 @@ from .tracer import (
     Stopwatch,
     Tracer,
     add_counter,
+    add_event,
     attach_to,
     current_span,
     get_tracer,
@@ -68,6 +69,7 @@ __all__ = [
     "TABLE3_ORDER",
     "Tracer",
     "add_counter",
+    "add_event",
     "attach_to",
     "current_span",
     "get_tracer",

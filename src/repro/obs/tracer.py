@@ -37,6 +37,7 @@ __all__ = [
     "Stopwatch",
     "Tracer",
     "add_counter",
+    "add_event",
     "attach_to",
     "current_span",
     "get_tracer",
@@ -104,13 +105,14 @@ class Span:
 
     __slots__ = (
         "name", "attrs", "counters", "children", "parent",
-        "t_start", "t_end", "thread_id",
+        "t_start", "t_end", "thread_id", "events",
     )
 
     def __init__(self, name: str, attrs: dict[str, Any] | None = None) -> None:
         self.name = name
         self.attrs: dict[str, Any] = attrs or {}
         self.counters: dict[str, float] = {}
+        self.events: list[tuple[str, float, dict[str, Any]]] = []
         self.children: list[Span] = []
         self.parent: Span | None = None
         self.t_start: float = 0.0
@@ -135,6 +137,11 @@ class Span:
     # -- counters ------------------------------------------------------------
     def add_counter(self, name: str, value: float) -> None:
         self.counters[name] = self.counters.get(name, 0.0) + float(value)
+
+    # -- events --------------------------------------------------------------
+    def add_event(self, name: str, **attrs: Any) -> None:
+        """Record a timestamped point event (e.g. a retry) on this span."""
+        self.events.append((name, _clock(), attrs))
 
     # -- traversal -----------------------------------------------------------
     def walk(self, depth: int = 0) -> Iterable[tuple[int, "Span"]]:
@@ -178,6 +185,7 @@ class _NoopSpan:
     name = ""
     attrs: dict[str, Any] = {}
     counters: dict[str, float] = {}
+    events: list[tuple[str, float, dict[str, Any]]] = []
     children: list[Span] = []
 
     def __init__(self) -> None:
@@ -192,6 +200,9 @@ class _NoopSpan:
         return (_clock() if self.t_end == 0.0 else self.t_end) - self.t_start
 
     def add_counter(self, name: str, value: float) -> None:
+        pass
+
+    def add_event(self, name: str, **attrs: Any) -> None:
         pass
 
     def __enter__(self) -> "_NoopSpan":
@@ -290,6 +301,17 @@ def add_counter(name: str, value: float) -> None:
         span = _TRACER.current()
         if span is not None:
             span.add_counter(name, value)
+
+
+def add_event(name: str, **attrs: Any) -> None:
+    """Record a point event (a retry, a recovery, a fallback) on the current
+    span.  No-op when tracing is disabled or no span is open — resilience
+    bookkeeping must never change the numerics of an untraced run.
+    """
+    if _ENABLED:
+        span = _TRACER.current()
+        if span is not None:
+            span.add_event(name, **attrs)
 
 
 class _Region:

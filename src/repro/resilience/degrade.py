@@ -1,0 +1,119 @@
+"""Graceful degradation: the ladder a faulting run descends, with a report.
+
+When bounded retries at full speed keep failing, the drivers trade
+performance for survival instead of aborting:
+
+1. retry the failing step in place (:class:`~repro.resilience.retry.
+   RetryPolicy`);
+2. drop the parallel (k, spin) channel pool to serial execution;
+3. swap the precomputed :class:`~repro.fem.scatter.ScatterMap` for the
+   reference ``np.add.at`` scatter (the ``REPRO_SLOW_SCATTER`` gate the
+   fast path already honours at call time);
+4. give up with a structured ``ResilienceError``.
+
+Every rung taken is recorded in a :class:`DegradationReport` — attached to
+the ``SCFResult`` and printed by the CLI — so a run that survived on
+degraded paths says so instead of silently running slow.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.obs import add_counter, add_event
+
+__all__ = ["DegradationEvent", "DegradationReport", "ScatterFallback"]
+
+
+@dataclass(frozen=True)
+class DegradationEvent:
+    """One rung taken on the degradation ladder."""
+
+    site: str  #: fault site that forced the fallback
+    action: str  #: e.g. "parallel->serial", "scatter->reference"
+    detail: str = ""
+    iteration: int | None = None  #: outer-loop iteration, when known
+
+
+@dataclass
+class DegradationReport:
+    """Ordered record of every fallback a run took."""
+
+    events: list[DegradationEvent] = field(default_factory=list)
+
+    def record(
+        self,
+        site: str,
+        action: str,
+        detail: str = "",
+        iteration: int | None = None,
+    ) -> DegradationEvent:
+        ev = DegradationEvent(site, action, detail, iteration)
+        self.events.append(ev)
+        add_counter("degradations", 1)
+        add_event("degraded", site=site, action=action)
+        return ev
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def as_dicts(self) -> list[dict]:
+        return [
+            {
+                "site": e.site,
+                "action": e.action,
+                "detail": e.detail,
+                "iteration": e.iteration,
+            }
+            for e in self.events
+        ]
+
+    def summary(self) -> str:
+        if not self.events:
+            return "no degradation: run completed on the fast paths"
+        lines = ["degradation report:"]
+        for e in self.events:
+            at = f" (iteration {e.iteration})" if e.iteration is not None else ""
+            det = f": {e.detail}" if e.detail else ""
+            lines.append(f"  [{e.site}] {e.action}{at}{det}")
+        return "\n".join(lines)
+
+
+class ScatterFallback:
+    """Engage/restore the ``REPRO_SLOW_SCATTER`` reference-scatter gate.
+
+    The fast :class:`~repro.fem.scatter.ScatterMap` checks the environment
+    at *call time*, so flipping the variable mid-run degrades every scatter
+    from the next operator application on — no rebuild needed.  The driver
+    restores the caller's setting in a ``finally`` so a degraded run does
+    not leak slow scatters into the next one.
+    """
+
+    _VAR = "REPRO_SLOW_SCATTER"
+
+    def __init__(self) -> None:
+        self.active = False
+        self._prev: str | None = None
+
+    def engage(self) -> bool:
+        """Force the reference scatter; returns False if already active."""
+        if self.active:
+            return False
+        self._prev = os.environ.get(self._VAR)
+        os.environ[self._VAR] = "1"
+        self.active = True
+        return True
+
+    def restore(self) -> None:
+        """Put the caller's ``REPRO_SLOW_SCATTER`` setting back."""
+        if not self.active:
+            return
+        if self._prev is None:
+            os.environ.pop(self._VAR, None)
+        else:
+            os.environ[self._VAR] = self._prev
+        self.active = False

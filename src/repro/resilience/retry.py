@@ -1,0 +1,93 @@
+"""Bounded, deterministic retries — the recovery half of reprochaos.
+
+:class:`RetryPolicy` wraps one *attempt* callable (a channel eigensolve, an
+adjoint MINRES solve) with a fixed retry budget and a deterministic backoff
+schedule.  Every retry is recorded on the open reproscope span (an event
+plus ``retries`` / ``recoveries`` counters), so a traced chaos run shows
+exactly where recovery effort went.  When the budget is exhausted the
+failure is converted into a structured :class:`ResilienceError` naming the
+site — never a bare worker exception, never a NaN result.
+
+This module is the sanctioned home of broad exception handling (reprolint
+rule R011 bans ``except Exception`` everywhere else): recovery *must* catch
+whatever a faulted kernel throws, and the bounded budget plus the final
+structured re-raise keep genuine bugs from being silently absorbed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.obs import add_counter, add_event
+
+from .faults import ResilienceError
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry an attempt up to ``max_retries`` times with fixed backoff.
+
+    ``backoff`` is the deterministic sleep schedule in seconds, indexed by
+    retry number (the last entry repeats).  The default is all-zero: in the
+    in-process reproduction there is no transport to let quiesce, and
+    deterministic tests must not depend on wall time.  A production-style
+    schedule would be e.g. ``(0.1, 0.5, 2.0)``.
+    """
+
+    max_retries: int = 2
+    backoff: tuple[float, ...] = (0.0,)
+
+    def delay(self, retry_index: int) -> float:
+        """Backoff before the ``retry_index``-th retry (0-based)."""
+        if not self.backoff:
+            return 0.0
+        return self.backoff[min(retry_index, len(self.backoff) - 1)]
+
+    def run(
+        self,
+        attempt: Callable[[], Any],
+        site: str,
+        validate: Callable[[Any], bool] | None = None,
+        before_retry: Callable[[int], None] | None = None,
+    ) -> Any:
+        """Run ``attempt`` until it returns a valid result or the budget ends.
+
+        ``validate`` (if given) must return True for a result to be
+        accepted — a non-finite eigenvalue block fails validation just like
+        an exception.  ``before_retry(n)`` runs before the ``n``-th retry
+        (1-based): restore backed-up state, degrade a fast path, etc.
+        Raises :class:`ResilienceError` naming ``site`` on exhaustion; an
+        inner :class:`ResilienceError` is propagated unwrapped.
+        """
+        total = self.max_retries + 1
+        reason = "no attempt executed"
+        for n in range(1, total + 1):
+            failed = True
+            try:
+                out = attempt()
+                failed = False
+            except ResilienceError:
+                raise  # already structured: do not re-wrap or retry
+            except Exception as exc:  # noqa: BLE001 - resilience boundary
+                reason = f"{type(exc).__name__}: {exc}"
+            if not failed:
+                if validate is None or validate(out):
+                    if n > 1:
+                        add_counter("recoveries", 1)
+                        add_event("recovered", site=site, attempt=n)
+                    return out
+                reason = "result failed validation (non-finite values)"
+            if n == total:
+                break
+            add_counter("retries", 1)
+            add_event("retry", site=site, attempt=n, reason=reason)
+            d = self.delay(n - 1)
+            if d > 0.0:
+                time.sleep(d)
+            if before_retry is not None:
+                before_retry(n)
+        raise ResilienceError(site, reason, attempts=total)

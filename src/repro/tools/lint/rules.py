@@ -20,6 +20,8 @@ R009      raw wall-clock reads (``time.perf_counter()`` etc.) outside
           the reproscope observability subsystem
 R010      ``np.add.at`` scatter-adds outside the sanctioned
           ``repro/fem`` fast-scatter implementation
+R011      broad ``except Exception`` / ``except BaseException`` / bare
+          ``except`` outside the ``repro/resilience`` recovery boundary
 ========  ==========================================================
 
 Add a rule by subclassing :class:`~repro.tools.lint.Rule`, decorating it
@@ -45,6 +47,7 @@ __all__ = [
     "UnusedVariable",
     "RawTimingOutsideObs",
     "SlowScatterOutsideFem",
+    "BroadExceptionHandler",
 ]
 
 #: attribute / string spellings of reduced-precision dtypes
@@ -684,3 +687,64 @@ class SlowScatterOutsideFem(Rule):
                     "identical to np.add.at on zeroed output), or mark a "
                     "sanctioned site with `# reprolint: disable=R010`",
                 )
+
+
+# ----------------------------------------------------------------------------
+@register
+class BroadExceptionHandler(Rule):
+    """R011: broad exception handlers outside the resilience boundary.
+
+    Fault recovery is the job of :mod:`repro.resilience` — its
+    :class:`~repro.resilience.RetryPolicy` is the one sanctioned place a
+    broad ``except Exception`` may live, because it re-raises as a
+    structured :class:`~repro.resilience.ResilienceError` after bounded
+    retries.  Anywhere else, ``except Exception`` (or worse,
+    ``BaseException`` / a bare ``except``) turns an injected fault or a
+    genuine numerical failure into a silently-continued run, defeating the
+    chaos harness: the tests assert "recover or raise a structured error",
+    and a broad handler does neither.  Catch the specific exception
+    (``InjectedFault``, ``np.linalg.LinAlgError``, ...) or let it
+    propagate to the retry layer.
+    """
+
+    rule_id = "R011"
+    severity = "error"
+    description = (
+        "broad except Exception/BaseException/bare except outside "
+        "repro/resilience; catch specific exceptions or propagate to "
+        "the retry layer"
+    )
+    path_excludes = ("repro/resilience/",)
+
+    _BROAD = frozenset({"Exception", "BaseException"})
+
+    def _broad_names(self, node: ast.AST | None) -> list[str]:
+        """Broad exception-class names mentioned by a handler's type."""
+        if node is None:
+            return ["(bare)"]
+        exprs = node.elts if isinstance(node, ast.Tuple) else [node]
+        names = []
+        for expr in exprs:
+            dotted = _dotted(expr)
+            if dotted is not None and dotted.split(".")[-1] in self._BROAD:
+                names.append(dotted)
+        return names
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            broad = self._broad_names(node.type)
+            if not broad:
+                continue
+            if broad == ["(bare)"]:
+                what = "bare 'except:'"
+            else:
+                what = f"'except {', '.join(broad)}'"
+            yield ctx.finding(
+                self,
+                node,
+                f"{what} outside repro/resilience swallows injected faults "
+                "and real failures alike; catch the specific exception or "
+                "let RetryPolicy handle it",
+            )

@@ -1,0 +1,19 @@
+"""Shared pytest configuration for the repro test suite."""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate tests/golden/*.json from the current code instead "
+        "of asserting against the stored values",
+    )
+
+
+@pytest.fixture
+def update_golden(request):
+    """True when the run should rewrite the golden files."""
+    return bool(request.config.getoption("--update-golden"))

@@ -4,7 +4,7 @@
 def bare_except(solve):
     try:
         return solve()
-    except:  # expect: R005
+    except:  # expect: R005, R011
         return None
 
 

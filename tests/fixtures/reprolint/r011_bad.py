@@ -1,0 +1,31 @@
+"""R011 fixture: broad exception handlers outside repro/resilience."""
+
+import builtins
+
+
+def catches_everything(solve):
+    try:
+        return solve()
+    except Exception as exc:  # expect: R011
+        return repr(exc)
+
+
+def catches_base(solve):
+    try:
+        return solve()
+    except BaseException as exc:  # expect: R011
+        raise RuntimeError("wrapped") from exc
+
+
+def broad_in_tuple(solve):
+    try:
+        return solve()
+    except (ValueError, Exception):  # expect: R011
+        return None
+
+
+def dotted_spelling(solve):
+    try:
+        return solve()
+    except builtins.Exception:  # expect: R011
+        return None

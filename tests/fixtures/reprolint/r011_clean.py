@@ -1,0 +1,24 @@
+"""R011 clean fixture: specific handlers and pragma'd boundary sites."""
+
+import numpy as np
+
+
+def specific_handler(solve):
+    try:
+        return solve()
+    except (ValueError, np.linalg.LinAlgError):
+        raise RuntimeError("solver failed") from None
+
+
+def injected_fault_is_specific(solve, fault_cls):
+    try:
+        return solve()
+    except fault_cls:
+        raise
+
+
+def sanctioned_boundary(solve):
+    try:
+        return solve()
+    except Exception:  # reprolint: disable=R011
+        return None

@@ -35,47 +35,66 @@ def _reference_scatter(indices, values, nnodes, weights=None):
 
 
 # ---------------------------------------------------------------------------
-# ScatterMap vs np.add.at
+# ScatterMap vs np.add.at — seeded property sweep
 # ---------------------------------------------------------------------------
+# The bit-exactness contract must hold for *any* connectivity, not the one
+# lucky mesh a hand-picked case exercises: random index arrays stress
+# duplicate targets (high valence), untouched nodes (zero valence), every
+# rhs-width branch, and real/complex values with and without folded weights.
+_SWEEP_SEEDS = range(12)
+
+
+def _random_scatter_case(seed):
+    rng = np.random.default_rng(seed)
+    nnodes = int(rng.integers(1, 90))
+    # up to ~8x duplication so some nodes collect many contributions while
+    # (for small sizes) others collect none
+    nidx = int(rng.integers(1, 8 * nnodes + 2))
+    indices = rng.integers(0, nnodes, size=nidx)
+    if rng.random() < 0.5:  # exercise 2-D (cells, nloc) connectivity too
+        nloc = int(rng.integers(1, 9))
+        indices = rng.integers(0, nnodes, size=(max(nidx // nloc, 1), nloc))
+    nrhs = int(rng.integers(1, 7))
+    complex_vals = bool(rng.random() < 0.4)
+    shape = (indices.size,) if nrhs == 1 and rng.random() < 0.5 else (
+        indices.size, nrhs)
+    values = rng.standard_normal(shape)
+    if complex_vals:
+        values = values + 1j * rng.standard_normal(shape)
+    weights = None
+    if rng.random() < 0.4:  # Bloch case: conjugated phases folded in
+        weights = np.conj(
+            np.exp(1j * rng.uniform(0, 2 * np.pi, indices.size))
+        )
+    return nnodes, indices, values, weights
+
+
 @pytest.mark.parametrize("engine", ENGINES)
-@pytest.mark.parametrize("nrhs", [1, 5])
-def test_scatter_map_bitexact_real(mesh, engine, nrhs):
-    rng = np.random.default_rng(3)
-    smap = ScatterMap(mesh.conn, mesh.nnodes, force_engine=engine)
-    values = rng.standard_normal((mesh.conn.size, nrhs))
-    out = np.zeros((mesh.nnodes, nrhs), dtype=np.float64)
+@pytest.mark.parametrize("seed", _SWEEP_SEEDS)
+def test_scatter_map_bitexact_property_sweep(engine, seed):
+    nnodes, indices, values, weights = _random_scatter_case(seed)
+    smap = ScatterMap(indices, nnodes, weights=weights, force_engine=engine)
+    dtype = np.complex128 if (
+        np.iscomplexobj(values) or weights is not None
+    ) else np.float64
+    out_shape = (nnodes,) if values.ndim == 1 else (nnodes, values.shape[1])
+    out = np.zeros(out_shape, dtype=dtype)
     smap.add_to(values, out)
-    ref = _reference_scatter(mesh.conn, values, mesh.nnodes)
+    ref = _reference_scatter(indices, values, nnodes, weights=weights)
+    if values.ndim == 1:
+        ref = ref[:, 0]
     assert np.array_equal(out, ref)  # bitwise, not allclose
 
 
 @pytest.mark.parametrize("engine", ENGINES)
-def test_scatter_map_bitexact_complex_weights(mesh, engine):
-    """Bloch case: conjugated phases folded into the map as weights."""
-    rng = np.random.default_rng(4)
-    phases = np.exp(1j * rng.uniform(0, 2 * np.pi, mesh.conn.size))
-    weights = np.conj(phases)
-    smap = ScatterMap(
-        mesh.conn, mesh.nnodes, weights=weights, force_engine=engine
-    )
-    values = rng.standard_normal((mesh.conn.size, 3)) + 1j * rng.standard_normal(
-        (mesh.conn.size, 3)
-    )
-    out = np.zeros((mesh.nnodes, 3), dtype=np.complex128)
-    smap.add_to(values, out)
-    ref = _reference_scatter(mesh.conn, values, mesh.nnodes, weights=weights)
-    assert np.array_equal(out, ref)
-
-
-@pytest.mark.parametrize("engine", ENGINES)
-def test_scatter_map_bitexact_1d(mesh, engine):
-    rng = np.random.default_rng(5)
+def test_scatter_map_bitexact_on_mesh_connectivity(mesh, engine):
+    """The real FEM connectivity (the production input) stays covered."""
+    rng = np.random.default_rng(3)
     smap = ScatterMap(mesh.conn, mesh.nnodes, force_engine=engine)
-    values = rng.standard_normal(mesh.conn.size)
-    out = np.zeros(mesh.nnodes, dtype=np.float64)
+    values = rng.standard_normal((mesh.conn.size, 5))
+    out = np.zeros((mesh.nnodes, 5), dtype=np.float64)
     smap.add_to(values, out)
-    ref = _reference_scatter(mesh.conn, values, mesh.nnodes)[:, 0]
-    assert np.array_equal(out, ref)
+    assert np.array_equal(out, _reference_scatter(mesh.conn, values, mesh.nnodes))
 
 
 def test_slow_scatter_env_gate(mesh, monkeypatch):
@@ -146,21 +165,42 @@ def test_apply_rejects_aliased_out(mesh):
 # ---------------------------------------------------------------------------
 # Workspace reuse
 # ---------------------------------------------------------------------------
-def test_workspace_reuses_buffers_across_interleaved_shapes():
+@pytest.mark.parametrize("seed", _SWEEP_SEEDS)
+def test_workspace_pooling_invariants_random_interleaving(seed):
+    """Property: under any interleaving of ``get`` calls, a (tag, shape,
+    dtype) key is served by one stable buffer, distinct keys never alias,
+    and ``zero=True`` always hands back zeros."""
+    rng = np.random.default_rng(100 + seed)
     ws = Workspace()
-    a1 = ws.get("a", (100, 4))
-    b1 = ws.get("b", (50,), dtype=np.complex128)
-    a2 = ws.get("a", (100, 4))
-    b2 = ws.get("b", (50,), dtype=np.complex128)
-    assert a1 is a2 and b1 is b2
-    # same tag, different shape: a distinct pooled buffer, and the first
-    # shape's buffer is still served afterwards (interleaving is safe)
-    a3 = ws.get("a", (100, 8))
-    assert a3 is not a1 and a3.shape == (100, 8)
-    assert ws.get("a", (100, 4)) is a1
-    assert ws.nbytes() > 0
+    tags = ["a", "b", "c"]
+    shapes = [(7,), (7, 3), (12, 2), (5, 5)]
+    dtypes = [np.float64, np.complex128]
+    pool: dict = {}
+    for _ in range(40):
+        key = (
+            tags[rng.integers(len(tags))],
+            shapes[rng.integers(len(shapes))],
+            dtypes[rng.integers(len(dtypes))],
+        )
+        tag, shape, dtype = key
+        zero = bool(rng.random() < 0.3)
+        buf = ws.get(tag, shape, dtype=dtype, zero=zero)
+        assert buf.shape == shape and buf.dtype == dtype
+        if zero:
+            assert np.count_nonzero(buf) == 0
+        if key in pool:
+            assert buf is pool[key], "pooled buffer identity changed"
+        else:
+            for other_key, other in pool.items():
+                assert buf is not other, f"{key} aliases {other_key}"
+            pool[key] = buf
+        buf.fill(1.0)  # dirty it: reuse must not depend on contents
+    assert ws.nbytes() >= sum(b.nbytes for b in pool.values())
     ws.clear()
     assert ws.nbytes() == 0
+    # after clear, keys are served by fresh storage
+    fresh = ws.get("a", (7,), dtype=np.float64)
+    assert fresh.shape == (7,)
 
 
 def test_workspace_zero_semantics():
