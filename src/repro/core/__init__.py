@@ -14,6 +14,13 @@ from .occupations import OccupationSet, fermi_dirac, find_fermi_level
 from .orthonorm import blocked_gram, blocked_rotate, cholesky_orthonormalize
 from .rayleigh_ritz import projected_hamiltonian, rayleigh_ritz
 from .scf import KSChannel, SCFDriver, SCFOptions, SCFResult
+from .subspace import (
+    adjust_carried_hx,
+    batched_gram,
+    batched_rotate,
+    fused_cholgs_rr,
+    subspace_engine_enabled,
+)
 
 __all__ = [
     "AndersonMixer",
@@ -28,9 +35,12 @@ __all__ = [
     "SCFDriver",
     "SCFOptions",
     "SCFResult",
+    "adjust_carried_hx",
     "atomic_guess_density",
     "band_structure",
     "auto_mesh",
+    "batched_gram",
+    "batched_rotate",
     "blocked_gram",
     "blocked_rotate",
     "chebyshev_filter",
@@ -40,6 +50,7 @@ __all__ = [
     "fermi_dirac",
     "filter_block",
     "find_fermi_level",
+    "fused_cholgs_rr",
     "gaussian_self_energy",
     "hellmann_feynman_forces",
     "integrated_dos",
@@ -51,5 +62,6 @@ __all__ = [
     "projected_hamiltonian",
     "relax",
     "rayleigh_ritz",
+    "subspace_engine_enabled",
     "total_energy",
 ]

@@ -58,7 +58,8 @@ def lanczos_upper_bound(op, k: int = 12, seed: int = 7) -> float:
 
 
 def filter_block(
-    op, X: np.ndarray, m: int, a: float, b: float, a0: float, workspace=None
+    op, X: np.ndarray, m: int, a: float, b: float, a0: float, workspace=None,
+    hx0: np.ndarray | None = None,
 ) -> np.ndarray:
     """Scaled Chebyshev filter of degree ``m`` on one wavefunction block.
 
@@ -66,6 +67,12 @@ def filter_block(
     are amplified by T_m of their mapped (< -1) coordinate.  ``a0`` (an
     estimate of the lowest eigenvalue) sets the scaling that prevents
     overflow for large ``m``.
+
+    ``hx0``, when given, is a precomputed ``H X`` substituted for the first
+    operator application of the recurrence (the HX carried out of the fused
+    CholGS→RR stage, adjusted for the potential update); it is read, never
+    written.  This is the elision that makes the subspace engine one
+    ``op.apply`` per ChFES iteration cheaper.
 
     With a workspace (defaulting to ``op.workspace`` when the operator has
     one, e.g. :class:`~repro.fem.assembly.KSOperator`) the three-term
@@ -83,7 +90,8 @@ def filter_block(
     sigma1 = sigma
     ws = workspace if workspace is not None else getattr(op, "workspace", None)
     if ws is None or not ws.enabled:
-        Y = (op.apply(X) - c * X) * (sigma1 / e)
+        HX = op.apply(X) if hx0 is None else hx0
+        Y = (HX - c * X) * (sigma1 / e)
         for _ in range(2, m + 1):
             sigma2 = 1.0 / (2.0 / sigma1 - sigma)
             Ynew = (op.apply(Y) - c * Y) * (2.0 * sigma2 / e) - (sigma * sigma2) * X
@@ -96,8 +104,12 @@ def filter_block(
     U = ws.get("cf_u", X.shape, dt)
     # three rotating term blocks: X_k, Y_k and the in-flight Y_{k+1}
     bufs = [ws.get(f"cf_{i}", X.shape, dt) for i in range(3)]
-    # Y = (H X - c X) * (sigma1 / e)
-    Y = op.apply(X, out=bufs[0])
+    # Y = (H X - c X) * (sigma1 / e); a carried H X skips the first apply
+    if hx0 is None:
+        Y = op.apply(X, out=bufs[0])
+    else:
+        Y = bufs[0]
+        np.copyto(Y, hx0)
     np.multiply(c, X, out=U)
     Y -= U
     Y *= sigma1 / e
@@ -129,6 +141,7 @@ def chebyshev_filter(
     block_size: int | None = None,
     ledger=None,
     workspace=None,
+    hx0: np.ndarray | None = None,
 ) -> np.ndarray:
     """Apply the Chebyshev filter in column blocks of size ``block_size``.
 
@@ -136,7 +149,9 @@ def chebyshev_filter(
     independently (allowing compute/communication overlap on the real
     machine); numerically the result is identical to filtering all columns
     at once.  ``workspace`` is forwarded to :func:`filter_block` (which
-    falls back to ``op.workspace`` when available).
+    falls back to ``op.workspace`` when available).  ``hx0``, when given,
+    is the precomputed ``H X`` for the *whole* block ``X``; each column
+    block reads its slice in place of the recurrence's first apply.
     """
     n, nvec = X.shape
     bs = nvec if block_size is None else max(1, int(block_size))
@@ -144,7 +159,8 @@ def chebyshev_filter(
     with kernel_region("CF", ledger, degree=m, block_size=bs, nvec=nvec):
         for start in range(0, nvec, bs):
             sl = slice(start, min(start + bs, nvec))
+            blk_hx0 = None if hx0 is None else hx0[:, sl]
             out[:, sl] = filter_block(
-                op, X[:, sl], m, a, b, a0, workspace=workspace
+                op, X[:, sl], m, a, b, a0, workspace=workspace, hx0=blk_hx0
             )
     return out

@@ -192,8 +192,9 @@ def save_scf_state(
     """Snapshot the SCF loop at the end of ``iteration``.
 
     ``channels`` is a list of dicts with keys ``kfrac``, ``weight``,
-    ``spin``, ``psi``, ``evals``, ``upper_bound``, ``bound_base`` and
-    ``bound_v`` (the driver builds these from its ``KSChannel`` objects).
+    ``spin``, ``psi``, ``evals``, ``upper_bound``, ``bound_base``,
+    ``bound_v`` and the fused-engine HX carry ``hpsi``/``hpsi_v`` (the
+    driver builds these from its ``KSChannel`` objects).
     ``mixer_rho`` / ``mixer_res`` are the Anderson history window (oldest
     first; empty lists for a linear mixer), ``v_prev`` the Poisson
     warm-start potential, ``ledger_snapshot`` a ``FlopLedger.snapshot()``.
@@ -236,6 +237,14 @@ def save_scf_state(
         data[f"has_bound_v_{i}"] = bv is not None
         if bv is not None:
             data[f"bound_v_{i}"] = bv
+        # HX carry of the fused subspace engine (additive keys; files
+        # written before the engine simply lack them and resume cold)
+        hp = ch.get("hpsi")
+        hpv = ch.get("hpsi_v")
+        data[f"has_hpsi_{i}"] = hp is not None and hpv is not None
+        if hp is not None and hpv is not None:
+            data[f"hpsi_{i}"] = hp
+            data[f"hpsi_v_{i}"] = hpv
     data["n_mix"] = len(mixer_rho)
     for j, (r, f_) in enumerate(zip(mixer_rho, mixer_res)):
         data[f"mix_rho_{j}"] = r
@@ -274,6 +283,16 @@ def load_scf_state(path: str, mesh=None) -> dict:
                 "upper_bound": float(data[f"upper_bound_{i}"]),
                 "bound_base": float(data[f"bound_base_{i}"]),
                 "bound_v": data[f"bound_v_{i}"] if bool(data[f"has_bound_v_{i}"]) else None,
+                "hpsi": (
+                    data[f"hpsi_{i}"]
+                    if bool(data.get(f"has_hpsi_{i}", False))
+                    else None
+                ),
+                "hpsi_v": (
+                    data[f"hpsi_v_{i}"]
+                    if bool(data.get(f"has_hpsi_{i}", False))
+                    else None
+                ),
             }
         )
         occupations.append(data[f"occ_{i}"])

@@ -10,6 +10,12 @@ structure:
 * **CholGS-CI** — Cholesky factorization ``S = L L^H`` and explicit
   triangular inverse (FLOPs uncounted, wall time charged, as in Table 3).
 * **CholGS-O** — subspace rotation ``X <- X L^{-H}`` by blocked GEMMs.
+
+``blocked_gram``/``blocked_rotate`` dispatch to the batched engine in
+:mod:`.subspace` (single-cast FP32 mirrors, offset-batched ``np.matmul``,
+no zeroed temporaries), which is bitwise identical to the reference block
+loops kept here; ``REPRO_SLOW_SUBSPACE=1`` selects the reference at call
+time.
 """
 
 from __future__ import annotations
@@ -19,15 +25,12 @@ from scipy.linalg import solve_triangular
 
 from repro.hpc.flops import gemm_flops
 from repro.obs import kernel_region
+from repro.precision import f32_dtype
 from repro.tools.contracts import dtype_contract, shape_contract
 
+from .subspace import batched_gram, batched_rotate, subspace_engine_enabled
+
 __all__ = ["blocked_gram", "cholesky_orthonormalize", "blocked_rotate"]
-
-
-def _f32(dtype) -> np.dtype:
-    return np.dtype(
-        np.complex64 if np.issubdtype(dtype, np.complexfloating) else np.float32
-    )
 
 
 @shape_contract(X=("n", "nvec"), returns=("nvec", "nvec"))
@@ -43,12 +46,38 @@ def blocked_gram(
 
     Only blocks with ``j >= i`` are computed (the paper's alpha=1 Hermitian
     exploitation); with ``mixed_precision`` the strictly off-diagonal blocks
-    are computed in FP32.
+    are computed in FP32.  Dispatches to the batched engine unless
+    ``REPRO_SLOW_SUBSPACE=1`` selects the reference loop below.
     """
+    if subspace_engine_enabled():
+        return batched_gram(
+            X,
+            block_size=block_size,
+            mixed_precision=mixed_precision,
+            ledger=ledger,
+            kernel=kernel,
+        )
+    return _reference_gram(
+        X,
+        block_size=block_size,
+        mixed_precision=mixed_precision,
+        ledger=ledger,
+        kernel=kernel,
+    )
+
+
+def _reference_gram(
+    X: np.ndarray,
+    block_size: int = 128,
+    mixed_precision: bool = False,
+    ledger=None,
+    kernel: str = "CholGS-S",
+) -> np.ndarray:
+    """Reference per-(i, j)-block overlap loop (``REPRO_SLOW_SUBSPACE=1``)."""
     n, nvec = X.shape
     is_complex = np.issubdtype(X.dtype, np.complexfloating)
     S = np.zeros((nvec, nvec), dtype=X.dtype)
-    f32 = _f32(X.dtype)
+    f32 = f32_dtype(X.dtype)
     starts = list(range(0, nvec, block_size))
     with kernel_region(kernel, ledger, block_size=block_size, nvec=nvec):
         for i in starts:
@@ -65,7 +94,7 @@ def blocked_gram(
                     # blocks decay to 0 as the filtered subspace converges,
                     # so their FP32 rounding is bounded by the block norm
                     # (paper Sec 5.4.1); tests bound the orthonormality loss.
-                    blk = (Xi.astype(f32).conj().T @ Xj.astype(f32)).astype(X.dtype)  # reprolint: disable=R001
+                    blk = (Xi.astype(f32).conj().T @ Xj.astype(f32)).astype(X.dtype)  # reprolint: disable=R001,R012
                     prec = "fp32"
                 else:
                     blk = Xi.conj().T @ Xj
@@ -99,10 +128,40 @@ def blocked_rotate(
     With mixed precision, the contribution of off-diagonal blocks of ``Q``
     (rotations mixing well-separated subspace directions, which shrink as
     the SCF converges) is accumulated in FP32; diagonal blocks stay FP64.
+    Dispatches to the batched engine (direct writes into the output, pooled
+    product buffers) unless ``REPRO_SLOW_SUBSPACE=1``.
     """
+    if subspace_engine_enabled():
+        return batched_rotate(
+            X,
+            Q,
+            block_size=block_size,
+            mixed_precision=mixed_precision,
+            ledger=ledger,
+            kernel=kernel,
+        )
+    return _reference_rotate(
+        X,
+        Q,
+        block_size=block_size,
+        mixed_precision=mixed_precision,
+        ledger=ledger,
+        kernel=kernel,
+    )
+
+
+def _reference_rotate(
+    X: np.ndarray,
+    Q: np.ndarray,
+    block_size: int = 128,
+    mixed_precision: bool = False,
+    ledger=None,
+    kernel: str = "RR-SR",
+) -> np.ndarray:
+    """Reference rotation loop with zeroed accumulators."""
     n, nvec = X.shape
     is_complex = np.issubdtype(X.dtype, np.complexfloating)
-    f32 = _f32(X.dtype)
+    f32 = f32_dtype(X.dtype)
     Y = np.zeros((n, Q.shape[1]), dtype=X.dtype)
     starts = list(range(0, nvec, block_size))
     col_starts = list(range(0, Q.shape[1], block_size))
@@ -118,9 +177,8 @@ def blocked_rotate(
                     # rotation blocks mix well-separated subspace directions
                     # and shrink as the SCF converges; the FP64 accumulator
                     # keeps the summation error at the FP64 level.
-                    acc += (
-                        X[:, si].astype(f32) @ Q[si, sj].astype(f32)  # reprolint: disable=R001
-                    ).astype(X.dtype)
+                    blk32 = X[:, si].astype(f32) @ Q[si, sj].astype(f32)  # reprolint: disable=R001,R012
+                    acc += blk32.astype(X.dtype)  # reprolint: disable=R012
                     prec = "fp32"
                 else:
                     acc += X[:, si] @ Q[si, sj]
@@ -147,16 +205,23 @@ def cholesky_orthonormalize(
 
     Falls back to a QR factorization if the overlap is numerically
     indefinite (severe filter ill-conditioning), which cannot happen once
-    the SCF is under way but protects cold starts.
+    the SCF is under way but protects cold starts.  The fallback is metered
+    under its own ``CholGS-QR`` kernel label (wall time charged, FLOPs
+    uncounted like CholGS-CI), so an ill-conditioned cold start no longer
+    skews ``scf --profile`` breakdowns silently.
     """
     S = blocked_gram(
         X, block_size=block_size, mixed_precision=mixed_precision, ledger=ledger
     )
+    fallback = False
     with kernel_region("CholGS-CI", ledger):
         try:
             L = np.linalg.cholesky(S)
             Linv = solve_triangular(L, np.eye(L.shape[0], dtype=L.dtype), lower=True)
         except np.linalg.LinAlgError:
+            fallback = True
+    if fallback:
+        with kernel_region("CholGS-QR", ledger):
             Q, _ = np.linalg.qr(X)
             return np.ascontiguousarray(Q)
     return blocked_rotate(

@@ -5,6 +5,14 @@
   CholGS-S (Hermiticity exploited, alpha=1).
 * **RR-D** — dense diagonalization of ``Hhat`` (FLOPs uncounted).
 * **RR-SR** — subspace rotation ``X <- X Q`` (alpha=2, mixed precision).
+
+``projected_hamiltonian`` dispatches to the batched engine in
+:mod:`.subspace` unless ``REPRO_SLOW_SUBSPACE=1`` selects the reference
+block loop.  The SCF driver fuses this stage with CholGS via
+:func:`repro.core.subspace.fused_cholgs_rr`, which reuses the operator
+application issued for the Chebyshev filter; the standalone
+:func:`rayleigh_ritz` entry point below keeps the self-contained
+``op.apply`` for callers that arrive without ``HX``.
 """
 
 from __future__ import annotations
@@ -13,9 +21,11 @@ import numpy as np
 
 from repro.hpc.flops import gemm_flops
 from repro.obs import kernel_region
+from repro.precision import f32_dtype
 from repro.tools.contracts import dtype_contract, shape_contract
 
-from .orthonorm import blocked_rotate, _f32
+from .orthonorm import blocked_rotate
+from .subspace import batched_gram, subspace_engine_enabled
 
 __all__ = ["projected_hamiltonian", "rayleigh_ritz"]
 
@@ -30,9 +40,36 @@ def projected_hamiltonian(
     ledger=None,
 ) -> np.ndarray:
     """Hermitian projection ``Hhat = X^H HX`` by blocks (kernel RR-P)."""
+    if subspace_engine_enabled():
+        Hp = batched_gram(
+            X,
+            HX,
+            block_size=block_size,
+            mixed_precision=mixed_precision,
+            ledger=ledger,
+            kernel="RR-P",
+        )
+        return 0.5 * (Hp + Hp.conj().T)
+    return _reference_projected_hamiltonian(
+        X,
+        HX,
+        block_size=block_size,
+        mixed_precision=mixed_precision,
+        ledger=ledger,
+    )
+
+
+def _reference_projected_hamiltonian(
+    X: np.ndarray,
+    HX: np.ndarray,
+    block_size: int = 128,
+    mixed_precision: bool = False,
+    ledger=None,
+) -> np.ndarray:
+    """Reference per-(i, j)-block projection loop (``REPRO_SLOW_SUBSPACE=1``)."""
     n, nvec = X.shape
     is_complex = np.issubdtype(X.dtype, np.complexfloating)
-    f32 = _f32(X.dtype)
+    f32 = f32_dtype(X.dtype)
     Hp = np.zeros((nvec, nvec), dtype=X.dtype)
     starts = list(range(0, nvec, block_size))
     with kernel_region("RR-P", ledger, block_size=block_size, nvec=nvec):
@@ -48,9 +85,8 @@ def projected_hamiltonian(
                     # Hamiltonian blocks vanish as the subspace converges to
                     # an invariant one, bounding the FP32 error by the
                     # residual norm (paper Sec 5.4.1).
-                    blk = (
-                        X[:, si].astype(f32).conj().T @ HX[:, sj].astype(f32)  # reprolint: disable=R001
-                    ).astype(X.dtype)
+                    blk32 = X[:, si].astype(f32).conj().T @ HX[:, sj].astype(f32)  # reprolint: disable=R001,R012
+                    blk = blk32.astype(X.dtype)  # reprolint: disable=R012
                     prec = "fp32"
                 else:
                     blk = X[:, si].conj().T @ HX[:, sj]
@@ -80,7 +116,10 @@ def rayleigh_ritz(
 
     ``X`` must be orthonormal on entry (CholGS output).  The application of
     ``H`` to the subspace is charged to the CF/cell-GEMM ledger by the
-    operator itself.
+    operator itself.  This standalone entry point issues its own
+    ``op.apply``; the SCF hot path instead uses
+    :func:`repro.core.subspace.fused_cholgs_rr`, which rotates a
+    precomputed ``H W`` and skips this application entirely.
     """
     HX = op.apply(X)
     Hp = projected_hamiltonian(

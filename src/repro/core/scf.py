@@ -50,6 +50,7 @@ from .mixing import AndersonMixer, LinearMixer
 from .occupations import OccupationSet, find_fermi_level
 from .orthonorm import cholesky_orthonormalize
 from .rayleigh_ritz import rayleigh_ritz
+from .subspace import adjust_carried_hx, fused_cholgs_rr, subspace_engine_enabled
 
 __all__ = ["KSChannel", "SCFOptions", "SCFResult", "SCFDriver"]
 
@@ -68,6 +69,11 @@ class KSChannel:
     #: Lanczos bound cache: the bound and the potential it was computed at
     bound_base: float = 0.0
     bound_v: np.ndarray | None = None
+    #: HX carry of the fused subspace stage: ``H psi`` rotated out of the
+    #: last Rayleigh-Ritz, and the potential it was computed at (the next
+    #: filter adjusts it by ``diag(v_new - v_old)`` and skips one apply)
+    hpsi: np.ndarray | None = None
+    hpsi_v: np.ndarray | None = None
 
 
 @dataclass
@@ -314,6 +320,10 @@ class SCFDriver:
             ch.upper_bound = st["upper_bound"]
             ch.bound_base = st["bound_base"]
             ch.bound_v = st["bound_v"]
+            # absent in checkpoints written before the fused subspace engine;
+            # resume then simply pays one extra apply on the first iteration
+            ch.hpsi = st.get("hpsi")
+            ch.hpsi_v = st.get("hpsi_v")
         if isinstance(mixer, AndersonMixer):
             mixer.set_history(state["mixer_rho"], state["mixer_res"])
         self.electrostatics.warm_start = state["v_prev"]
@@ -353,6 +363,8 @@ class SCFDriver:
                     "upper_bound": ch.upper_bound,
                     "bound_base": ch.bound_base,
                     "bound_v": ch.bound_v,
+                    "hpsi": ch.hpsi,
+                    "hpsi_v": ch.hpsi_v,
                 }
                 for ch in self.channels
             ],
@@ -542,7 +554,10 @@ class SCFDriver:
         runs pay a single O(nstates) eigenvalue check per channel.
         """
         policy = self.options.retry_policy
-        backup = (ch.psi, ch.evals, ch.upper_bound, ch.bound_base, ch.bound_v)
+        backup = (
+            ch.psi, ch.evals, ch.upper_bound, ch.bound_base, ch.bound_v,
+            ch.hpsi, ch.hpsi_v,
+        )
 
         def attempt() -> bool:
             self._solve_one_channel(ch, v_eff)
@@ -554,10 +569,16 @@ class SCFDriver:
             if _faults._PLAN is not None and ch.psi is not None:
                 if not np.all(np.isfinite(ch.psi)):
                     return False
+            if _faults._PLAN is not None and ch.hpsi is not None:
+                if not np.all(np.isfinite(ch.hpsi)):
+                    return False
             return True
 
         def before_retry(n: int) -> None:
-            ch.psi, ch.evals, ch.upper_bound, ch.bound_base, ch.bound_v = backup
+            (
+                ch.psi, ch.evals, ch.upper_bound, ch.bound_base, ch.bound_v,
+                ch.hpsi, ch.hpsi_v,
+            ) = backup
             # last rung before giving up: trade the precomputed scatter maps
             # for the reference scatter (bit-identical, slower)
             if n == policy.max_retries and self._scatter.engage():
@@ -645,25 +666,54 @@ class SCFDriver:
             a = float(ch.evals[-1]) + 0.01 * (b - float(ch.evals[-1]))
             passes = 1
 
+        engine = subspace_engine_enabled()
+        hx0 = None
+        if engine and not first and ch.hpsi is not None and ch.hpsi_v is not None:
+            # the potential term of H~ is exactly diagonal, so the HX
+            # rotated out of the previous RR stage survives the SCF
+            # potential update as hpsi + (v_new - v_old) o psi
+            hx0 = adjust_carried_hx(ch.hpsi, X, op.potential_free - ch.hpsi_v)
         for p in range(passes):
             X = chebyshev_filter(
                 op, X, opts.cheb_degree, a, b, a0,
                 block_size=opts.block_size, ledger=self.ledger,
+                hx0=hx0,
             )
-            X = cholesky_orthonormalize(
-                X,
-                block_size=opts.block_size,
-                mixed_precision=opts.mixed_precision,
-                ledger=self.ledger,
-            )
-            evals, X = rayleigh_ritz(
-                op,
-                X,
-                block_size=opts.block_size,
-                mixed_precision=opts.mixed_precision,
-                ledger=self.ledger,
-            )
+            if engine:
+                # fused CholGS->RR: one H application of the filtered block
+                # feeds projection AND the carried HX; the reference path
+                # below issues a second apply inside rayleigh_ritz
+                HW = op.apply(X)
+                evals, X, hx0 = fused_cholgs_rr(
+                    X,
+                    HW,
+                    op=op,
+                    block_size=opts.block_size,
+                    mixed_precision=opts.mixed_precision,
+                    ledger=self.ledger,
+                )
+            else:
+                hx0 = None
+                X = cholesky_orthonormalize(
+                    X,
+                    block_size=opts.block_size,
+                    mixed_precision=opts.mixed_precision,
+                    ledger=self.ledger,
+                )
+                evals, X = rayleigh_ritz(
+                    op,
+                    X,
+                    block_size=opts.block_size,
+                    mixed_precision=opts.mixed_precision,
+                    ledger=self.ledger,
+                )
             a0 = float(evals[0])
             a = float(evals[-1]) + 0.01 * (b - float(evals[-1]))
         ch.psi = X
         ch.evals = evals
+        if engine and hx0 is not None:
+            ch.hpsi = hx0
+            ch.hpsi_v = op.potential_free.copy()
+        else:
+            ch.hpsi = None
+            ch.hpsi_v = None

@@ -22,6 +22,8 @@ import numpy as np
 from repro.fem.assembly import CellStiffness
 from repro.fem.mesh import Mesh3D
 from repro.fem.partition import Partition
+from repro.fem.workspace import Workspace
+from repro.precision import f32_dtype
 from repro.obs import add_counter
 from repro.resilience import InjectedFault, ResilienceError
 from repro.resilience import faults as _faults
@@ -64,6 +66,10 @@ class VirtualCluster:
         self._halo_of_rank = [
             self.partition.halo_nodes_of_rank(r) for r in range(self.nranks)
         ]
+        #: pooled per-rank accumulation buffer of :meth:`apply_stiffness`
+        #: (re-zeroed per rank; one allocation per (shape, dtype) instead of
+        #: one per rank per apply)
+        self._workspace = Workspace()
         self._owner = self.partition.owner
         # neighbor counts: ranks sharing at least one node
         touch = np.zeros((self.nranks, mesh.nnodes), dtype=bool)
@@ -98,7 +104,7 @@ class VirtualCluster:
         X = x_full[:, None] if squeeze else x_full
         B = X.shape[1]
         dtype = np.result_type(self.stiff.dtype, X.dtype)
-        f32 = np.complex64 if np.issubdtype(dtype, np.complexfloating) else np.float32
+        f32 = f32_dtype(dtype)
         y = np.zeros((self.mesh.nnodes, B), dtype=dtype)
         conn = self.mesh.conn
         for r, cells in enumerate(self.partition.cells_of_rank):
@@ -108,7 +114,11 @@ class VirtualCluster:
             Yc = self._apply_cells_subset(Xc, cells)
             if self.stiff.phases is not None:
                 Yc = np.conj(self.stiff.phases[cells])[:, :, None] * Yc
-            local = np.zeros((self.mesh.nnodes, B), dtype=dtype)
+            # pooled across ranks (zeroed each time, so the accumulation is
+            # bitwise identical to a fresh np.zeros per rank)
+            local = self._workspace.get(
+                "cluster_local", (self.mesh.nnodes, B), dtype, zero=True
+            )
             # Sanctioned slow scatter: the rank-local partial sums model the
             # cluster's per-rank accumulation order, which the fast ScatterMap
             # (built for the *global* connectivity) cannot reproduce per rank.

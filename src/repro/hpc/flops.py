@@ -36,7 +36,9 @@ __all__ = [
 ]
 
 #: kernels the paper excludes from the FLOP count (wall time still charged)
-UNCOUNTED_KERNELS = frozenset({"CholGS-CI", "RR-D", "DH", "EP", "Others"})
+UNCOUNTED_KERNELS = frozenset(
+    {"CholGS-CI", "CholGS-QR", "RR-D", "DH", "EP", "Others"}
+)
 
 
 @dataclass

@@ -31,6 +31,7 @@ from repro.core.io import load_invdft_state, save_invdft_state
 from repro.core.occupations import find_fermi_level
 from repro.core.orthonorm import cholesky_orthonormalize
 from repro.core.rayleigh_ritz import rayleigh_ritz
+from repro.core.subspace import fused_cholgs_rr, subspace_engine_enabled
 from repro.fem.assembly import KSOperator
 from repro.fem.mesh import Mesh3D
 from repro.fem.poisson import PoissonSolver, multipole_boundary_values
@@ -137,13 +138,25 @@ class InverseDFT:
             a0 = float(self._evals[spin][0])
             a = float(self._evals[spin][-1]) + 0.01 * (b - float(self._evals[spin][-1]))
             passes = 1
+        engine = subspace_engine_enabled()
+        # intra-solve carry only (the potential is fixed across these
+        # passes); nothing is carried across outer v_xc iterations, so the
+        # invdft checkpoint format is untouched
+        hx0 = None
         for _ in range(passes):
             X = chebyshev_filter(
                 op, X, self.cheb_degree, a, b, a0,
                 block_size=self.block_size, ledger=self.ledger,
+                hx0=hx0,
             )
-            X = cholesky_orthonormalize(X, block_size=self.block_size, ledger=self.ledger)
-            evals, X = rayleigh_ritz(op, X, block_size=self.block_size, ledger=self.ledger)
+            if engine:
+                HW = op.apply(X)
+                evals, X, hx0 = fused_cholgs_rr(
+                    X, HW, op=op, block_size=self.block_size, ledger=self.ledger
+                )
+            else:
+                X = cholesky_orthonormalize(X, block_size=self.block_size, ledger=self.ledger)
+                evals, X = rayleigh_ritz(op, X, block_size=self.block_size, ledger=self.ledger)
             a0 = float(evals[0])
             a = float(evals[-1]) + 0.01 * (b - float(evals[-1]))
         self._psi[spin] = X

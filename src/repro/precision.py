@@ -1,0 +1,41 @@
+"""Shared reduced-precision helpers for the mixed-precision kernels.
+
+The paper's mixed-precision scheme (Sec 5.4.1/5.4.2) touches three
+subsystems — CholGS/RR subspace linear algebra, the batched subspace
+engine, and the virtual cluster's FP32 halo exchange.  Each used to spell
+its own ``float32``/``complex64`` mapping; this module is the single
+definition both of the dtype map and of the *single-cast FP32 mirror*: the
+one place a working array is downcast per kernel call, so the per-block
+``.astype`` pattern (re-casting the same columns once per block pair) never
+reappears.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["f32_dtype", "fp32_mirror"]
+
+
+def f32_dtype(dtype) -> np.dtype:
+    """The FP32-precision counterpart of ``dtype`` (complex64 for complex)."""
+    return np.dtype(
+        np.complex64 if np.issubdtype(np.dtype(dtype), np.complexfloating) else np.float32
+    )
+
+
+def fp32_mirror(X: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """Single-cast FP32 mirror of ``X`` (complex64 for complex input).
+
+    Slices of the mirror are bitwise identical to per-block
+    ``block.astype(f32)`` casts (IEEE round-to-nearest elementwise), so a
+    kernel reading ``mirror[:, si]`` reproduces the reference per-block
+    downcast exactly while paying the cast once.  ``out`` (a pooled buffer
+    of the mirror dtype/shape) avoids the allocation on hot paths.
+    """
+    if out is not None:
+        out[...] = X  # elementwise cast on assignment, identical to astype
+        return out
+    # Whitelisted downcast: this helper IS the sanctioned single-cast site
+    # the mixed-precision kernels funnel through (bounds documented there).
+    return X.astype(f32_dtype(X.dtype))  # reprolint: disable=R001

@@ -22,6 +22,8 @@ R010      ``np.add.at`` scatter-adds outside the sanctioned
           ``repro/fem`` fast-scatter implementation
 R011      broad ``except Exception`` / ``except BaseException`` / bare
           ``except`` outside the ``repro/resilience`` recovery boundary
+R012      ``.astype`` casts inside loops in the numerical core, where
+          the batched subspace engine's single-cast mirrors belong
 ========  ==========================================================
 
 Add a rule by subclassing :class:`~repro.tools.lint.Rule`, decorating it
@@ -48,6 +50,7 @@ __all__ = [
     "RawTimingOutsideObs",
     "SlowScatterOutsideFem",
     "BroadExceptionHandler",
+    "AstypeInsideLoop",
 ]
 
 #: attribute / string spellings of reduced-precision dtypes
@@ -748,3 +751,53 @@ class BroadExceptionHandler(Rule):
                 "and real failures alike; catch the specific exception or "
                 "let RetryPolicy handle it",
             )
+
+
+# ----------------------------------------------------------------------------
+@register
+class AstypeInsideLoop(Rule):
+    """R012: ``.astype`` inside a loop in the numerical core.
+
+    Re-casting the same columns once per block pair is exactly the pattern
+    the batched subspace engine removed: with mixed precision, ``X``/``HX``
+    are downcast to an FP32 mirror *once* per call
+    (:func:`repro.precision.fp32_mirror`) and every block reads a slice.
+    An ``.astype`` inside a ``for``/``while`` body in ``repro/core`` is
+    either a reintroduction of the per-block cast (an O((nvec/bs)^2) hidden
+    cost) or a sanctioned reference implementation, which must say so with
+    a ``# reprolint: disable=R012`` pragma.
+    """
+
+    rule_id = "R012"
+    severity = "error"
+    description = (
+        "astype() inside a loop in repro/core; hoist to a single-cast "
+        "mirror (repro.precision.fp32_mirror) outside the loop"
+    )
+    path_filters = ("core/",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        seen: set[tuple[int, int]] = set()
+        for loop in ast.walk(ctx.tree):
+            if not isinstance(loop, (ast.For, ast.AsyncFor, ast.While)):
+                continue
+            for stmt in loop.body + loop.orelse:
+                for node in ast.walk(stmt):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    if not isinstance(node.func, ast.Attribute):
+                        continue
+                    if node.func.attr != "astype":
+                        continue
+                    key = (node.lineno, node.col_offset)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    yield ctx.finding(
+                        self,
+                        node,
+                        ".astype() inside a loop re-pays the cast per "
+                        "iteration; hoist it to a single fp32_mirror (or "
+                        "mark a sanctioned reference path with "
+                        "`# reprolint: disable=R012`)",
+                    )

@@ -1,0 +1,18 @@
+"""R012 clean fixture: casts hoisted out of the loops (single-cast mirror)."""
+
+import numpy as np
+
+F32 = np.dtype("float64")
+
+
+def hoisted_cast(X, starts):
+    mirror = X.astype(F32)
+    total = 0.0
+    for i in starts:
+        total += float(mirror[:, i].sum())
+    return total
+
+
+def comprehension_is_not_a_loop_stmt(blocks):
+    # a generator/comprehension body is not an ast.For statement body
+    return [b.astype(F32) for b in blocks]

@@ -1,0 +1,494 @@
+"""Batched subspace engine: bit-identity, mixed-precision bounds, HX reuse.
+
+The engine's contract is strict: every kernel (gram, projection, rotation)
+must be *bitwise* identical to the reference block loops it replaces, in
+FP64 and in the mixed FP64-diagonal/FP32-off-diagonal layout, across
+ragged shapes (nvec not divisible by block_size, nvec < block_size,
+block_size 1).  On top of that sit the fused CholGS→RR stage (correctness
+against the reference pipeline, metered QR rescue) and the HX carry (the
+exact one-apply-per-iteration saving, checkpoint round-trip).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+import numpy as np
+import pytest
+
+from repro.core.chebyshev import chebyshev_filter
+from repro.core.orthonorm import (
+    _reference_gram,
+    _reference_rotate,
+    blocked_gram,
+    blocked_rotate,
+    cholesky_orthonormalize,
+)
+from repro.core.rayleigh_ritz import (
+    _reference_projected_hamiltonian,
+    projected_hamiltonian,
+)
+from repro.core.subspace import (
+    adjust_carried_hx,
+    batched_gram,
+    batched_rotate,
+    fused_cholgs_rr,
+    subspace_engine_enabled,
+)
+from repro.core.io import load_scf_state, save_scf_state
+from repro.hpc.flops import UNCOUNTED_KERNELS, FlopLedger
+from repro.precision import f32_dtype, fp32_mirror
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+#: (nvec, block_size) pairs covering full grids, ragged tails,
+#: nvec < block_size, nvec not divisible by block_size, and block_size 1
+SHAPES = [
+    (40, 8),
+    (37, 8),
+    (5, 8),
+    (33, 32),
+    (17, 16),
+    (9, 4),
+    (2, 1),
+    (128, 64),
+]
+
+
+def _block(n, nvec, seed, complex_):
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((n, nvec))
+    if complex_:
+        X = X + 1j * rng.standard_normal((n, nvec))
+    return X
+
+
+def test_engine_enabled_by_default_and_env_toggle(monkeypatch):
+    monkeypatch.delenv("REPRO_SLOW_SUBSPACE", raising=False)
+    assert subspace_engine_enabled()
+    monkeypatch.setenv("REPRO_SLOW_SUBSPACE", "1")
+    assert not subspace_engine_enabled()
+    monkeypatch.setenv("REPRO_SLOW_SUBSPACE", "0")
+    assert subspace_engine_enabled()
+
+
+# ---------------------------------------------------------------------------
+# bit-identity of every kernel against the reference block loops
+@pytest.mark.parametrize("complex_", [False, True], ids=["real", "bloch"])
+@pytest.mark.parametrize("mixed", [False, True], ids=["fp64", "mixed"])
+@pytest.mark.parametrize("nvec,bs", SHAPES)
+def test_gram_bitwise_identical(nvec, bs, mixed, complex_):
+    X = _block(211, nvec, seed=nvec * bs + mixed, complex_=complex_)
+    ref = _reference_gram(X, block_size=bs, mixed_precision=mixed)
+    got = batched_gram(X, block_size=bs, mixed_precision=mixed)
+    assert np.array_equal(ref, got)
+
+
+@pytest.mark.parametrize("complex_", [False, True], ids=["real", "bloch"])
+@pytest.mark.parametrize("mixed", [False, True], ids=["fp64", "mixed"])
+@pytest.mark.parametrize("nvec,bs", SHAPES)
+def test_projection_bitwise_identical(nvec, bs, mixed, complex_):
+    X = _block(211, nvec, seed=3 * nvec + bs, complex_=complex_)
+    Y = _block(211, nvec, seed=7 * nvec + bs + 1, complex_=complex_)
+    ref = _reference_projected_hamiltonian(X, Y, block_size=bs, mixed_precision=mixed)
+    got = batched_gram(X, Y, block_size=bs, mixed_precision=mixed, kernel="RR-P")
+    got = 0.5 * (got + got.conj().T)
+    assert np.array_equal(ref, got)
+
+
+@pytest.mark.parametrize("complex_", [False, True], ids=["real", "bloch"])
+@pytest.mark.parametrize("mixed", [False, True], ids=["fp64", "mixed"])
+@pytest.mark.parametrize("nvec,bs", SHAPES)
+def test_rotate_bitwise_identical(nvec, bs, mixed, complex_):
+    X = _block(211, nvec, seed=11 * nvec + bs, complex_=complex_)
+    rng = np.random.default_rng(13 * nvec + bs)
+    Q = rng.standard_normal((nvec, nvec))
+    if complex_:
+        Q = Q + 1j * rng.standard_normal((nvec, nvec))
+    ref = _reference_rotate(X, Q, block_size=bs, mixed_precision=mixed)
+    got = batched_rotate(X, Q, block_size=bs, mixed_precision=mixed)
+    # the engine writes products directly where the reference computes
+    # 0.0 + x; the only tolerated difference is the sign of exact zeros
+    assert np.array_equal(ref, got) or np.array_equal(ref + 0.0, got + 0.0)
+
+
+def test_public_wrappers_dispatch_to_engine(monkeypatch):
+    """blocked_gram/blocked_rotate/projected_hamiltonian honour the env flag."""
+    X = _block(97, 12, seed=0, complex_=True)
+    Q = _block(12, 12, seed=1, complex_=True)[:12]
+    monkeypatch.delenv("REPRO_SLOW_SUBSPACE", raising=False)
+    fast = (
+        blocked_gram(X, block_size=5),
+        blocked_rotate(X, Q, block_size=5),
+        projected_hamiltonian(X, X[:, ::-1].copy(), block_size=5),
+    )
+    monkeypatch.setenv("REPRO_SLOW_SUBSPACE", "1")
+    slow = (
+        blocked_gram(X, block_size=5),
+        blocked_rotate(X, Q, block_size=5),
+        projected_hamiltonian(X, X[:, ::-1].copy(), block_size=5),
+    )
+    for f, s in zip(fast, slow):
+        assert np.array_equal(f, s)
+
+
+def test_cholesky_orthonormalize_engine_matches_reference(monkeypatch):
+    for complex_ in (False, True):
+        for mixed in (False, True):
+            X = _block(151, 24, seed=21 + complex_, complex_=complex_)
+            led_f, led_s = FlopLedger(), FlopLedger()
+            monkeypatch.delenv("REPRO_SLOW_SUBSPACE", raising=False)
+            fast = cholesky_orthonormalize(
+                X, block_size=7, mixed_precision=mixed, ledger=led_f
+            )
+            monkeypatch.setenv("REPRO_SLOW_SUBSPACE", "1")
+            slow = cholesky_orthonormalize(
+                X, block_size=7, mixed_precision=mixed, ledger=led_s
+            )
+            monkeypatch.delenv("REPRO_SLOW_SUBSPACE", raising=False)
+            assert np.array_equal(fast + 0.0, slow + 0.0)
+            # ledger totals are label-for-label identical
+            for k in ("CholGS-S", "CholGS-O"):
+                assert led_f[k].flops_fp64 == led_s[k].flops_fp64
+                assert led_f[k].flops_fp32 == led_s[k].flops_fp32
+
+
+# ---------------------------------------------------------------------------
+# precision helpers
+def test_f32_dtype_map():
+    assert f32_dtype(np.float64) == np.float32
+    assert f32_dtype(np.complex128) == np.complex64
+    assert f32_dtype(np.float32) == np.float32
+
+
+def test_fp32_mirror_slices_match_per_block_astype():
+    X = _block(64, 20, seed=5, complex_=True)
+    mirror = fp32_mirror(X)
+    assert mirror.dtype == np.complex64
+    for sl in (slice(0, 7), slice(7, 20)):
+        assert np.array_equal(mirror[:, sl], X[:, sl].astype(np.complex64))
+    out = np.empty_like(mirror)
+    assert fp32_mirror(X, out=out) is out
+    assert np.array_equal(out, mirror)
+
+
+# ---------------------------------------------------------------------------
+# mixed-precision error bounds across block sizes
+@pytest.mark.parametrize("bs", [4, 8, 16, 32])
+def test_mixed_precision_orthonormality_loss_bounded(bs):
+    X = _block(300, 32, seed=bs, complex_=False)
+    Y = cholesky_orthonormalize(X, block_size=bs, mixed_precision=True)
+    err = np.linalg.norm(Y.T @ Y - np.eye(32))
+    assert err < 5e-5  # FP32 off-diagonal blocks only
+    Y64 = cholesky_orthonormalize(X, block_size=bs, mixed_precision=False)
+    assert np.linalg.norm(Y64.T @ Y64 - np.eye(32)) < 1e-12
+
+
+@pytest.mark.parametrize("bs", [4, 8, 16])
+def test_mixed_precision_ritz_drift_bounded(bs):
+    rng = np.random.default_rng(40 + bs)
+    A = rng.standard_normal((120, 120))
+    H = 0.5 * (A + A.T)
+    W = rng.standard_normal((120, 24))
+    HW = H @ W
+    e64, _, _ = fused_cholgs_rr(W, HW.copy(), block_size=bs)
+    e32, _, _ = fused_cholgs_rr(W, HW.copy(), block_size=bs, mixed_precision=True)
+    assert np.max(np.abs(e64 - e32)) < 1e-3 * max(1.0, np.abs(e64).max())
+
+
+# ---------------------------------------------------------------------------
+# fused CholGS -> RR
+class DenseOp:
+    def __init__(self, H):
+        self.H = np.asarray(H)
+        self.dtype = self.H.dtype
+        self.n = H.shape[0]
+        self.applies = 0
+
+    def apply(self, X, out=None):
+        self.applies += 1
+        Y = self.H @ X
+        if out is not None:
+            out[...] = Y
+            return out
+        return Y
+
+    def diagonal(self):
+        return np.real(np.diag(self.H))
+
+
+def _hermitian(n, seed, complex_=False):
+    rng = np.random.default_rng(seed)
+    A = rng.standard_normal((n, n))
+    if complex_:
+        A = A + 1j * rng.standard_normal((n, n))
+    return 0.5 * (A + A.conj().T)
+
+
+@pytest.mark.parametrize("complex_", [False, True], ids=["real", "bloch"])
+def test_fused_matches_reference_pipeline(complex_, monkeypatch):
+    """fused(W, HW) == CholGS(W) then RR, to solver accuracy, zero applies."""
+    H = _hermitian(90, 3, complex_)
+    op = DenseOp(H)
+    W = _block(90, 14, seed=4, complex_=complex_)
+    HW = op.apply(W)
+    op.applies = 0
+    evals, X, HX = fused_cholgs_rr(W, HW, op=op, block_size=5)
+    assert op.applies == 0  # the whole stage reuses the precomputed HW
+    monkeypatch.setenv("REPRO_SLOW_SUBSPACE", "1")
+    from repro.core.rayleigh_ritz import rayleigh_ritz
+
+    Xr = cholesky_orthonormalize(W, block_size=5)
+    evals_ref, Xref = rayleigh_ritz(op, Xr, block_size=5)
+    np.testing.assert_allclose(evals, evals_ref, rtol=1e-9, atol=1e-9)
+    # orthonormality and the HX invariant
+    assert np.linalg.norm(X.conj().T @ X - np.eye(14)) < 1e-10
+    np.testing.assert_allclose(HX, H @ X, rtol=1e-8, atol=1e-8)
+    # same Ritz vectors up to phase
+    overlap = np.abs(np.diag(Xref.conj().T @ X))
+    np.testing.assert_allclose(overlap, 1.0, atol=1e-7)
+
+
+def test_fused_writes_into_out_buffers():
+    H = _hermitian(60, 9)
+    W = _block(60, 8, seed=10, complex_=False)
+    HW = H @ W
+    out_x = np.empty_like(W)
+    out_hx = np.empty_like(W)
+    evals, X, HX = fused_cholgs_rr(W, HW, block_size=4, out_x=out_x, out_hx=out_hx)
+    assert X is out_x and HX is out_hx
+    evals2, X2, HX2 = fused_cholgs_rr(W, HW, block_size=4)
+    assert np.array_equal(X, X2) and np.array_equal(HX, HX2)
+
+
+def test_rotate_out_must_not_alias():
+    X = _block(30, 6, seed=1, complex_=False)
+    Q = np.eye(6)
+    with pytest.raises(ValueError, match="alias"):
+        batched_rotate(X, Q, block_size=3, out=X)
+
+
+def test_qr_fallback_is_metered():
+    """An indefinite overlap triggers the QR rescue under its own label."""
+    rng = np.random.default_rng(2)
+    X = rng.standard_normal((50, 6))
+    X[:, 3] = X[:, 0]  # exactly singular overlap -> Cholesky fails
+    ledger = FlopLedger()
+    Y = cholesky_orthonormalize(X, block_size=3, ledger=ledger)
+    assert np.linalg.norm(Y.T @ Y - np.eye(6)) < 1e-10
+    tally = ledger["CholGS-QR"]
+    assert tally.calls >= 1
+    assert tally.seconds > 0.0
+    assert tally.flops_total == 0.0  # uncounted, like CholGS-CI
+    assert "CholGS-QR" in UNCOUNTED_KERNELS
+
+
+def test_fused_qr_fallback_with_op_refresh():
+    H = _hermitian(40, 6)
+    op = DenseOp(H)
+    rng = np.random.default_rng(3)
+    W = rng.standard_normal((40, 5))
+    W[:, 4] = W[:, 1]
+    ledger = FlopLedger()
+    evals, X, HX = fused_cholgs_rr(W, H @ W, op=op, block_size=2, ledger=ledger)
+    assert ledger["CholGS-QR"].calls >= 1
+    assert np.linalg.norm(X.T @ X - np.eye(5)) < 1e-10
+    np.testing.assert_allclose(HX, H @ X, rtol=1e-8, atol=1e-8)
+
+
+# ---------------------------------------------------------------------------
+# HX carry: the adjustment identity and the exact apply saving
+def test_adjust_carried_hx_identity():
+    H = _hermitian(50, 8)
+    psi = _block(50, 6, seed=9, complex_=False)
+    v_old = np.random.default_rng(1).standard_normal(50)
+    v_new = np.random.default_rng(2).standard_normal(50)
+    h_old = (H + np.diag(v_old)) @ psi
+    got = adjust_carried_hx(h_old, psi, v_new - v_old)
+    want = (H + np.diag(v_new)) @ psi
+    np.testing.assert_allclose(got, want, rtol=1e-12, atol=1e-12)
+    assert adjust_carried_hx(None, psi, v_new) is None
+    assert adjust_carried_hx(h_old, psi, np.zeros(50)) is h_old
+
+
+def test_filter_accepts_carried_hx0():
+    H = _hermitian(70, 12)
+    op = DenseOp(H)
+    X = _block(70, 8, seed=12, complex_=False)
+    ref = chebyshev_filter(op, X, 6, 1.0, 40.0, -1.0, block_size=3)
+    n_ref = op.applies
+    op.applies = 0
+    # block-consistent carry: bitwise equal to what op.apply would produce
+    # per column block (a single 8-column GEMM differs at the BLAS level)
+    hx0 = np.hstack([H @ X[:, i : i + 3] for i in range(0, 8, 3)])
+    op.applies = 0
+    got = chebyshev_filter(op, X, 6, 1.0, 40.0, -1.0, block_size=3, hx0=hx0)
+    assert np.array_equal(ref, got)  # same arithmetic, first apply replaced
+    assert op.applies == n_ref - 3  # one apply saved per column block
+
+
+def _count_scf_applies(monkeypatch, slow: bool):
+    """Full-subspace apply count of a short fixed-iteration H2 SCF."""
+    from repro.atoms.pseudo import AtomicConfiguration
+    from repro.core import DFTCalculation, SCFOptions
+    from repro.fem.assembly import KSOperator
+
+    if slow:
+        monkeypatch.setenv("REPRO_SLOW_SUBSPACE", "1")
+    else:
+        monkeypatch.delenv("REPRO_SLOW_SUBSPACE", raising=False)
+    counts = {"columns": 0}
+    orig = KSOperator.apply
+
+    def counting_apply(self, X, out=None):
+        if getattr(X, "ndim", 1) == 2:
+            counts["columns"] += X.shape[1]
+        return orig(self, X, out=out)
+
+    monkeypatch.setattr(KSOperator, "apply", counting_apply)
+    config = AtomicConfiguration(["H", "H"], [[0, 0, 0], [1.4, 0, 0]])
+    calc = DFTCalculation(
+        config,
+        padding=5.0,
+        cells_per_axis=3,
+        degree=2,
+        options=SCFOptions(
+            max_iterations=3,
+            cheb_degree=6,
+            n_init_passes=2,
+            density_tol=1e-300,
+            energy_tol=1e-300,
+        ),
+    )
+    res = calc.run()
+    nvec = res.channels[0].psi.shape[1]
+    assert counts["columns"] % nvec == 0
+    return counts["columns"] // nvec, res
+
+
+def test_chfes_saves_exactly_one_apply_per_iteration(monkeypatch):
+    """Engine: one operator application of the subspace per RR stage elided.
+
+    With m = cheb_degree, p = n_init_passes and N SCF iterations, the
+    reference issues p(m+1) + (N-1)(m+1) full-subspace applies; the engine
+    carries HX through the subspace stage and issues p·m + 1 + (N-1)·m.
+    """
+    m, p, N = 6, 2, 3
+    ref_applies, ref_res = _count_scf_applies(monkeypatch, slow=True)
+    eng_applies, eng_res = _count_scf_applies(monkeypatch, slow=False)
+    assert ref_applies == p * (m + 1) + (N - 1) * (m + 1)
+    assert eng_applies == p * m + 1 + (N - 1) * m
+    # one fewer per filtering pass, except the cold-start pass
+    assert ref_applies - eng_applies == p + (N - 1) - 1
+    # physics unchanged to solver tolerance
+    assert abs(ref_res.free_energy - eng_res.free_energy) < 1e-9
+
+
+def test_scf_ledger_shows_fewer_cell_gemm_flops(monkeypatch):
+    """The elided applies are visible in the FlopLedger's cell_gemm tally."""
+    from repro.atoms.pseudo import AtomicConfiguration
+    from repro.core import DFTCalculation, SCFOptions
+
+    def run(slow):
+        if slow:
+            monkeypatch.setenv("REPRO_SLOW_SUBSPACE", "1")
+        else:
+            monkeypatch.delenv("REPRO_SLOW_SUBSPACE", raising=False)
+        config = AtomicConfiguration(["H", "H"], [[0, 0, 0], [1.4, 0, 0]])
+        ledger = FlopLedger()
+        calc = DFTCalculation(
+            config,
+            padding=5.0,
+            cells_per_axis=3,
+            degree=2,
+            options=SCFOptions(
+                max_iterations=2, cheb_degree=6, n_init_passes=2,
+                density_tol=1e-300, energy_tol=1e-300,
+            ),
+            ledger=ledger,
+        )
+        calc.run()
+        return ledger["cell_gemm"].flops_total
+
+    assert run(slow=False) < run(slow=True)
+
+
+# ---------------------------------------------------------------------------
+# checkpoint round-trip of the carry
+def _mesh():
+    from repro.fem.mesh import uniform_mesh
+
+    return uniform_mesh((4.0, 4.0, 4.0), (2, 2, 2), 2, pbc=(True, True, True))
+
+
+def test_scf_state_roundtrips_hpsi(tmp_path):
+    mesh = _mesh()
+    rng = np.random.default_rng(0)
+    psi = rng.standard_normal((mesh.nnodes, 4))
+    hpsi = rng.standard_normal((mesh.nnodes, 4))
+    hpsi_v = rng.standard_normal(mesh.nnodes)
+    ch = {
+        "kfrac": (0.0, 0.0, 0.0), "weight": 1.0, "spin": None,
+        "psi": psi, "evals": np.arange(4.0), "upper_bound": 9.0,
+        "bound_base": 8.0, "bound_v": None, "hpsi": hpsi, "hpsi_v": hpsi_v,
+    }
+    path = tmp_path / "state.npz"
+    save_scf_state(
+        str(path), mesh, iteration=1, converged=False, free_energy=-1.0,
+        rho_spin=np.zeros((mesh.nnodes, 1)), fermi_level=0.0, entropy=0.0,
+        occupations=[np.ones(4)], channels=[ch], mixer_rho=[], mixer_res=[],
+    )
+    state = load_scf_state(str(path), mesh)
+    loaded = state["channels"][0]
+    assert np.array_equal(loaded["hpsi"], hpsi)
+    assert np.array_equal(loaded["hpsi_v"], hpsi_v)
+    # channels without a carry round-trip to None (old-file behaviour)
+    ch["hpsi"] = ch["hpsi_v"] = None
+    save_scf_state(
+        str(path), mesh, iteration=1, converged=False, free_energy=-1.0,
+        rho_spin=np.zeros((mesh.nnodes, 1)), fermi_level=0.0, entropy=0.0,
+        occupations=[np.ones(4)], channels=[ch], mixer_rho=[], mixer_res=[],
+    )
+    loaded = load_scf_state(str(path), mesh)["channels"][0]
+    assert loaded["hpsi"] is None and loaded["hpsi_v"] is None
+
+
+# ---------------------------------------------------------------------------
+# bench_subspace smoke test (tier 1): tiny config, schema validation
+def _load_bench(tmp_path, monkeypatch):
+    bench_dir = REPO / "benchmarks"
+    monkeypatch.syspath_prepend(str(bench_dir))
+    sys.modules.pop("_harness", None)
+    import _harness
+
+    monkeypatch.setattr(_harness, "RESULTS_DIR", tmp_path)
+    spec = importlib.util.spec_from_file_location(
+        "bench_subspace_smoke", bench_dir / "bench_subspace.py"
+    )
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod, _harness
+
+
+def test_bench_subspace_smoke_schema(tmp_path, monkeypatch):
+    mod, harness = _load_bench(tmp_path, monkeypatch)
+    tiny = {"degree": 2, "cells": 3, "nvec": 8, "block_size": 4, "cheb_degree": 3}
+    path = mod.main(params=tiny, repeats=1)
+    assert path == tmp_path / "BENCH_subspace.json"
+    records = json.loads(path.read_text())
+    assert isinstance(records, list) and len(records) == 1
+    record = records[-1]
+    assert tuple(record) == harness.RECORD_KEYS
+    assert record["schema"] == harness.SCHEMA == "repro-bench/1"
+    assert record["name"] == "subspace"
+    assert record["params"] == tiny
+    stage = record["metrics"]["stage"]
+    assert {r["mixed_precision"] for r in stage} == {False, True}
+    for r in stage:
+        assert r["reference_stage_seconds"] > 0
+        assert r["engine_stage_seconds"] > 0
+    it = record["metrics"]["iteration"]
+    assert it["applies_saved_per_iteration"] == pytest.approx(1.0)
