@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.obs import kernel_region
 from repro.resilience import faults as _faults
+from repro.tools import sanitize as _sanitize
 
 __all__ = ["lanczos_upper_bound", "chebyshev_filter", "filter_block"]
 
@@ -160,7 +161,13 @@ def chebyshev_filter(
         for start in range(0, nvec, bs):
             sl = slice(start, min(start + bs, nvec))
             blk_hx0 = None if hx0 is None else hx0[:, sl]
-            out[:, sl] = filter_block(
+            blk = filter_block(
                 op, X[:, sl], m, a, b, a0, workspace=workspace, hx0=blk_hx0
             )
+            san = _sanitize._STATE
+            if san is not None:
+                # workspace pools are thread-local; a block owned by another
+                # thread means a pool leaked across the channel workers
+                san.assert_owned(blk, context="chebyshev_filter block result")
+            out[:, sl] = blk
     return out

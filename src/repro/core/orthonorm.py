@@ -94,7 +94,7 @@ def _reference_gram(
                     # blocks decay to 0 as the filtered subspace converges,
                     # so their FP32 rounding is bounded by the block norm
                     # (paper Sec 5.4.1); tests bound the orthonormality loss.
-                    blk = (Xi.astype(f32).conj().T @ Xj.astype(f32)).astype(X.dtype)  # reprolint: disable=R001,R012
+                    blk = (Xi.astype(f32).conj().T @ Xj.astype(f32)).astype(X.dtype)  # reprolint: disable=R012
                     prec = "fp32"
                 else:
                     blk = Xi.conj().T @ Xj
@@ -177,8 +177,8 @@ def _reference_rotate(
                     # rotation blocks mix well-separated subspace directions
                     # and shrink as the SCF converges; the FP64 accumulator
                     # keeps the summation error at the FP64 level.
-                    blk32 = X[:, si].astype(f32) @ Q[si, sj].astype(f32)  # reprolint: disable=R001,R012
-                    acc += blk32.astype(X.dtype)  # reprolint: disable=R012
+                    blk32 = X[:, si].astype(f32) @ Q[si, sj].astype(f32)  # reprolint: disable=R012
+                    acc += blk32.astype(X.dtype)
                     prec = "fp32"
                 else:
                     acc += X[:, si] @ Q[si, sj]

@@ -85,8 +85,8 @@ def _reference_projected_hamiltonian(
                     # Hamiltonian blocks vanish as the subspace converges to
                     # an invariant one, bounding the FP32 error by the
                     # residual norm (paper Sec 5.4.1).
-                    blk32 = X[:, si].astype(f32).conj().T @ HX[:, sj].astype(f32)  # reprolint: disable=R001,R012
-                    blk = blk32.astype(X.dtype)  # reprolint: disable=R012
+                    blk32 = X[:, si].astype(f32).conj().T @ HX[:, sj].astype(f32)  # reprolint: disable=R012
+                    blk = blk32.astype(X.dtype)
                     prec = "fp32"
                 else:
                     blk = X[:, si].conj().T @ HX[:, sj]

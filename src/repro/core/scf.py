@@ -39,6 +39,7 @@ from repro.resilience import (
     ScatterFallback,
 )
 from repro.resilience import faults as _faults
+from repro.tools import sanitize as _sanitize
 from repro.xc.base import XCFunctional
 
 from .chebyshev import chebyshev_filter, lanczos_upper_bound
@@ -199,6 +200,11 @@ class SCFDriver:
         self._scatter = ScatterFallback()
         self._degraded_serial = False
         self._iteration = 0
+        # REPRO_NUM_THREADS is read once here, not per SCF step: the
+        # environment is shared mutable state, and the parallel channel
+        # loop must not change width mid-run (reprolint R015).
+        env = os.environ.get("REPRO_NUM_THREADS", "").strip()
+        self._env_threads = int(env) if env else 1
 
     # ------------------------------------------------------------------
     def run(
@@ -489,8 +495,7 @@ class SCFDriver:
     def _effective_threads(self) -> int:
         nt = self.options.num_threads
         if nt is None:
-            env = os.environ.get("REPRO_NUM_THREADS", "").strip()
-            nt = int(env) if env else 1
+            nt = self._env_threads
         return max(1, int(nt))
 
     def _solve_channels(self, v_eff: np.ndarray) -> None:
@@ -594,9 +599,18 @@ class SCFDriver:
     def _solve_one_channel(self, ch: KSChannel, v_eff: np.ndarray) -> None:
         if _faults._PLAN is not None:
             _faults.fault_point("channel")
-        s = ch.spin if ch.spin is not None else 0
-        ch.op.set_potential(v_eff[:, s])
-        self._eigensolve(ch, first=(ch.psi is None))
+        # each channel is single-owner state: the write window proves no
+        # two pool workers were ever handed the same channel
+        san = _sanitize._STATE
+        if san is not None:
+            san.write_begin(f"KSChannel:{id(ch)}")
+        try:
+            s = ch.spin if ch.spin is not None else 0
+            ch.op.set_potential(v_eff[:, s])
+            self._eigensolve(ch, first=(ch.psi is None))
+        finally:
+            if san is not None:
+                san.write_end(f"KSChannel:{id(ch)}")
 
     def _eigensolve(self, ch: KSChannel, first: bool) -> None:
         """One ChFES step for a channel (multi-pass on the first SCF step)."""

@@ -125,7 +125,11 @@ class CellStiffness:
     def gather(
         self, x_full: np.ndarray, workspace: Workspace | None = None
     ) -> np.ndarray:
-        """Gather full-node field(s) to (ncells, npc, B) with Bloch phases."""
+        """Gather full-node field(s) to (ncells, npc, B) with Bloch phases.
+
+        With a workspace the returned array is a pooled buffer owned by
+        the workspace — valid until the next ``gather`` on this thread.
+        """
         squeeze = x_full.ndim == 1
         X = x_full[:, None] if squeeze else x_full
         conn = self.mesh.conn
@@ -160,7 +164,12 @@ class CellStiffness:
     def apply_cells(
         self, Xc: np.ndarray, workspace: Workspace | None = None
     ) -> np.ndarray:
-        """Batched cell GEMM: ``Y_c = K_c X_c`` over all cells at once."""
+        """Batched cell GEMM: ``Y_c = K_c X_c`` over all cells at once.
+
+        With a workspace the returned array is a pooled buffer owned by
+        the workspace — valid until the next ``apply_cells`` on this
+        thread.
+        """
         ncells, npc, B = Xc.shape
         if self._Kc is not None:
             if workspace is None:

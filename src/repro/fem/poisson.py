@@ -115,6 +115,11 @@ class PoissonSolver:
         ws = self.workspace
 
         def apply_K(x: np.ndarray) -> np.ndarray:
+            """CG matvec into a pooled workspace buffer.
+
+            The returned array is workspace-owned — valid until the next
+            ``apply_K`` on this thread; ``_pcg`` consumes it immediately.
+            """
             # pooled free->full expansion; boundary rows stay zero by invariant
             full = ws.get(
                 "poisson_full", (mesh.nnodes,), np.float64, zero_on_create=True

@@ -26,6 +26,8 @@ import threading
 
 import numpy as np
 
+from repro.tools import sanitize as _sanitize
+
 __all__ = ["Workspace"]
 
 
@@ -82,6 +84,9 @@ class Workspace:
             pool[key] = buf
         if zero:
             buf.fill(0)
+        san = _sanitize._STATE
+        if san is not None:
+            san.claim(buf, tag)
         return buf
 
     def zeros(

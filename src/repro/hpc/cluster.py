@@ -27,6 +27,7 @@ from repro.precision import f32_dtype
 from repro.obs import add_counter
 from repro.resilience import InjectedFault, ResilienceError
 from repro.resilience import faults as _faults
+from repro.tools import sanitize as _sanitize
 
 __all__ = ["TrafficReport", "VirtualCluster"]
 
@@ -63,6 +64,7 @@ class VirtualCluster:
         self.stiff = CellStiffness(mesh, kfrac=kfrac)
         self.fp32_halo = fp32_halo
         self.traffic = TrafficReport()
+        self._san_tag = f"VirtualCluster.traffic:{id(self)}"
         self._halo_of_rank = [
             self.partition.halo_nodes_of_rank(r) for r in range(self.nranks)
         ]
@@ -119,6 +121,9 @@ class VirtualCluster:
             local = self._workspace.get(
                 "cluster_local", (self.mesh.nnodes, B), dtype, zero=True
             )
+            san = _sanitize._STATE
+            if san is not None:
+                san.assert_owned(local, context="cluster rank-local accumulator")
             # Sanctioned slow scatter: the rank-local partial sums model the
             # cluster's per-rank accumulation order, which the fast ScatterMap
             # (built for the *global* connectivity) cannot reproduce per rank.
@@ -134,12 +139,18 @@ class VirtualCluster:
                 # partial sums crossing rank boundaries travel in FP32; the
                 # owner's accumulation and all interior nodes stay FP64.
                 # tests/test_hpc.py bounds the resulting error.
-                local[remote] = local[remote].astype(f32).astype(dtype)  # reprolint: disable=R001
+                local[remote] = local[remote].astype(f32).astype(dtype)
             y += local
             # metering: partials sent to owners + summed values received back
             halo_bytes = 2 * remote.size * B * self.halo_word_bytes
-            self.traffic.p2p_bytes += halo_bytes
-            self.traffic.p2p_messages += 2 * self._neighbors[r]
+            if san is not None:
+                san.write_begin(self._san_tag)
+            try:
+                self.traffic.p2p_bytes += halo_bytes
+                self.traffic.p2p_messages += 2 * self._neighbors[r]
+            finally:
+                if san is not None:
+                    san.write_end(self._san_tag)
             add_counter("halo_bytes", halo_bytes)
             add_counter("halo_messages", 2 * self._neighbors[r])
         return y[:, 0] if squeeze else y

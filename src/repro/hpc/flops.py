@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import ContextManager
 
 from repro.obs.tracer import Span, add_counter, kernel_region
+from repro.tools import sanitize as _sanitize
 
 __all__ = [
     "FlopLedger",
@@ -66,16 +67,24 @@ class FlopLedger:
     def __init__(self) -> None:
         self._tally: dict[str, KernelTally] = defaultdict(KernelTally)
         self._lock = threading.Lock()
+        self._san_tag = f"FlopLedger:{id(self)}"
 
     def add(self, kernel: str, flops: float, precision: str = "fp64") -> None:
         if precision not in ("fp64", "fp32"):
             raise ValueError(f"unknown precision {precision!r}")
         with self._lock:
-            t = self._tally[kernel]
-            if precision == "fp64":
-                t.flops_fp64 += flops
-            else:
-                t.flops_fp32 += flops
+            san = _sanitize._STATE
+            if san is not None:
+                san.write_begin(self._san_tag)
+            try:
+                t = self._tally[kernel]
+                if precision == "fp64":
+                    t.flops_fp64 += flops
+                else:
+                    t.flops_fp32 += flops
+            finally:
+                if san is not None:
+                    san.write_end(self._san_tag)
         # mirror onto the innermost open reproscope span (no-op untraced);
         # spans are thread-local, so this needs no lock
         add_counter(f"flops_{precision}", flops)
@@ -83,9 +92,16 @@ class FlopLedger:
     def charge_seconds(self, kernel: str, seconds: float, calls: int = 1) -> None:
         """Record measured wall time for ``kernel`` (reproscope callback)."""
         with self._lock:
-            t = self._tally[kernel]
-            t.seconds += seconds
-            t.calls += calls
+            san = _sanitize._STATE
+            if san is not None:
+                san.write_begin(self._san_tag)
+            try:
+                t = self._tally[kernel]
+                t.seconds += seconds
+                t.calls += calls
+            finally:
+                if san is not None:
+                    san.write_end(self._san_tag)
 
     def timed(self, kernel: str) -> ContextManager[Span]:
         """Open a reproscope span whose duration is charged to ``kernel``."""
@@ -114,7 +130,14 @@ class FlopLedger:
 
     def reset(self) -> None:
         with self._lock:
-            self._tally.clear()
+            san = _sanitize._STATE
+            if san is not None:
+                san.write_begin(self._san_tag)
+            try:
+                self._tally.clear()
+            finally:
+                if san is not None:
+                    san.write_end(self._san_tag)
 
     def snapshot(self) -> dict[str, tuple[float, float, float, int]]:
         """Checkpointable copy of the tally (kernel -> fp64/fp32/sec/calls)."""
@@ -127,14 +150,21 @@ class FlopLedger:
     def restore(self, snap: dict[str, tuple[float, float, float, int]]) -> None:
         """Replace the tally with a :meth:`snapshot` (checkpoint resume)."""
         with self._lock:
-            self._tally.clear()
-            for k, (f64, f32, sec, calls) in snap.items():
-                self._tally[k] = KernelTally(
-                    flops_fp64=float(f64),
-                    flops_fp32=float(f32),
-                    seconds=float(sec),
-                    calls=int(calls),
-                )
+            san = _sanitize._STATE
+            if san is not None:
+                san.write_begin(self._san_tag)
+            try:
+                self._tally.clear()
+                for k, (f64, f32, sec, calls) in snap.items():
+                    self._tally[k] = KernelTally(
+                        flops_fp64=float(f64),
+                        flops_fp32=float(f32),
+                        seconds=float(sec),
+                        calls=int(calls),
+                    )
+            finally:
+                if san is not None:
+                    san.write_end(self._san_tag)
 
     def summary(self) -> str:
         lines = [f"{'kernel':<12} {'GFLOP':>12} {'fp32 share':>11} {'time (s)':>10}"]

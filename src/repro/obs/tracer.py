@@ -32,6 +32,8 @@ import threading
 import time
 from typing import Any, Callable, ContextManager, Iterable, Iterator, TypeVar
 
+from repro.tools import sanitize as _sanitize
+
 __all__ = [
     "Span",
     "Stopwatch",
@@ -220,6 +222,7 @@ class Tracer:
         self._local = threading.local()
         self._lock = threading.Lock()
         self._sinks: list[Any] = []
+        self._san_tag = f"Tracer.sinks:{id(self)}"
         #: perf_counter origin shared by every span (Chrome-trace timebase)
         self.epoch: float = _clock()
 
@@ -227,13 +230,27 @@ class Tracer:
     def add_sink(self, sink: Any) -> Any:
         """Subscribe a sink; it receives each finished *root* span."""
         with self._lock:
-            self._sinks.append(sink)
+            san = _sanitize._STATE
+            if san is not None:
+                san.write_begin(self._san_tag)
+            try:
+                self._sinks.append(sink)
+            finally:
+                if san is not None:
+                    san.write_end(self._san_tag)
         return sink
 
     def remove_sink(self, sink: Any) -> None:
         with self._lock:
-            if sink in self._sinks:
-                self._sinks.remove(sink)
+            san = _sanitize._STATE
+            if san is not None:
+                san.write_begin(self._san_tag)
+            try:
+                if sink in self._sinks:
+                    self._sinks.remove(sink)
+            finally:
+                if san is not None:
+                    san.write_end(self._san_tag)
 
     def sinks(self) -> list[Any]:
         with self._lock:

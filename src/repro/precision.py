@@ -38,4 +38,4 @@ def fp32_mirror(X: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         return out
     # Whitelisted downcast: this helper IS the sanctioned single-cast site
     # the mixed-precision kernels funnel through (bounds documented there).
-    return X.astype(f32_dtype(X.dtype))  # reprolint: disable=R001
+    return X.astype(f32_dtype(X.dtype))

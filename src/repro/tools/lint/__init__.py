@@ -10,12 +10,21 @@ Framework features:
 
 * a rule registry (:func:`register`) with per-rule severity and optional
   path scoping (e.g. R003 only applies under ``hpc/``);
+* flow-aware rules backed by per-function CFGs and dataflow analyses
+  (:mod:`~repro.tools.lint.cfg`, :mod:`~repro.tools.lint.dataflow`) —
+  R001/R006/R012 track reduced-precision values to their escape points,
+  and the concurrency pass (:mod:`~repro.tools.lint.concurrency`,
+  R013–R016) resolves thread entries and lock scopes;
 * line-level suppressions — ``# reprolint: disable=R001`` (or
   ``disable=R001,R003``, or a bare ``disable`` for all rules) on the
   flagged line, and ``# reprolint: disable-file=R001`` near the top of a
   file for file-wide suppression;
-* text and JSON output; exit code 0 (clean), 1 (findings), 2 (usage or
-  unreadable input).
+* text, JSON and SARIF 2.1.0 output (``--format sarif`` for CI code
+  annotations); exit code 0 (clean), 1 (findings), 2 (usage or
+  unreadable input);
+* baselines — ``--baseline FILE --write-baseline`` snapshots current
+  findings, later ``--baseline FILE`` runs fail only on *new* ones —
+  and ``--changed`` to lint only files touched per git.
 
 Programmatic use::
 
@@ -24,7 +33,9 @@ Programmatic use::
 
 Command line::
 
-    python -m repro.tools.lint src/ [--format json] [--select R001,R004]
+    python -m repro.tools.lint src/ [--format json|sarif]
+        [--select R001,R004] [--baseline FILE [--write-baseline]]
+        [--changed]
 """
 
 from __future__ import annotations
@@ -159,6 +170,7 @@ def register(cls: type[Rule]) -> type[Rule]:
 def all_rules(select: Iterable[str] | None = None) -> list[Rule]:
     """Instantiate the registered rules (optionally a subset)."""
     # rule implementations self-register on import
+    from . import concurrency as _concurrency  # noqa: F401  (side effect)
     from . import rules as _rules  # noqa: F401  (import for side effect)
 
     ids = sorted(RULE_REGISTRY) if select is None else list(select)
@@ -309,13 +321,25 @@ def main(argv: list[str] | None = None) -> int:
         description="reprolint: numerical-safety static analysis",
     )
     ap.add_argument("paths", nargs="*", default=["src"], help="files or directories")
-    ap.add_argument("--format", choices=("text", "json"), default="text")
+    ap.add_argument("--format", choices=("text", "json", "sarif"), default="text")
     ap.add_argument(
         "--select", default=None, metavar="R001,R002",
         help="comma-separated rule ids to run (default: all)",
     )
     ap.add_argument(
         "--list-rules", action="store_true", help="print the rule set and exit"
+    )
+    ap.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="suppress findings recorded in FILE; fail only on new ones",
+    )
+    ap.add_argument(
+        "--write-baseline", action="store_true",
+        help="write the current findings to --baseline FILE and exit 0",
+    )
+    ap.add_argument(
+        "--changed", action="store_true",
+        help="lint only files changed per git (status vs HEAD + untracked)",
     )
     try:
         args = ap.parse_args(argv)
@@ -337,15 +361,55 @@ def main(argv: list[str] | None = None) -> int:
         if not select:
             print("reprolint: --select given but names no rules", file=sys.stderr)
             return 2
+    if args.write_baseline and not args.baseline:
+        print(
+            "reprolint: --write-baseline requires --baseline FILE",
+            file=sys.stderr,
+        )
+        return 2
+
+    from . import baseline as _baseline
+
+    paths: list = list(args.paths)
+    if args.changed:
+        try:
+            paths = list(_baseline.changed_paths(paths))
+        except RuntimeError as exc:
+            print(f"reprolint: {exc}", file=sys.stderr)
+            return 2
+
     errors: list[str] = []
     try:
-        findings = lint_paths(args.paths, select=select, on_error=errors.append)
+        findings = lint_paths(paths, select=select, on_error=errors.append)
     except KeyError as exc:
         print(f"reprolint: {exc.args[0]}", file=sys.stderr)
         return 2
     for msg in errors:
         print(msg, file=sys.stderr)
-    out = format_json(findings) if args.format == "json" else format_text(findings)
+
+    if args.write_baseline:
+        _baseline.write_baseline(args.baseline, findings)
+        print(
+            f"reprolint: wrote baseline with {len(findings)} finding(s) "
+            f"to {args.baseline}"
+        )
+        return 2 if errors else 0
+    if args.baseline:
+        try:
+            counts = _baseline.load_baseline(args.baseline)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"reprolint: cannot read baseline: {exc}", file=sys.stderr)
+            return 2
+        findings = _baseline.new_findings(findings, counts)
+
+    if args.format == "json":
+        out = format_json(findings)
+    elif args.format == "sarif":
+        from . import sarif as _sarif
+
+        out = _sarif.format_sarif(findings, all_rules(select))
+    else:
+        out = format_text(findings)
     print(out)
     if errors:
         return 2

@@ -1,0 +1,144 @@
+"""Finding baselines and git-changed file selection for reprolint.
+
+A *baseline* records the current findings so that new rules can land
+without a mass-pragma sweep: ``--baseline FILE --write-baseline``
+snapshots today's findings, and subsequent ``--baseline FILE`` runs
+fail only on findings *not* covered by the snapshot.
+
+Fingerprints are (posix path, rule id, message) — line numbers are
+deliberately excluded so unrelated edits that shift code do not
+invalidate the baseline.  The baseline stores a *count* per
+fingerprint; if a run produces more findings with the same fingerprint
+than recorded, the surplus (highest line numbers first) is new.
+
+``--changed`` restricts linting to files touched per git: anything
+``git status --porcelain`` reports (modified, added, renamed,
+untracked) under the requested paths.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+from collections import Counter
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from . import Finding
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "fingerprint",
+    "write_baseline",
+    "load_baseline",
+    "new_findings",
+    "changed_paths",
+]
+
+BASELINE_SCHEMA = "reprolint-baseline/1"
+
+
+def fingerprint(finding: "Finding") -> tuple[str, str, str]:
+    return (
+        pathlib.PurePath(finding.path).as_posix(),
+        finding.rule_id,
+        finding.message,
+    )
+
+
+def write_baseline(path: str | pathlib.Path, findings: Iterable["Finding"]) -> None:
+    counts = Counter(fingerprint(f) for f in findings)
+    doc = {
+        "schema": BASELINE_SCHEMA,
+        "entries": [
+            {"path": p, "rule": r, "message": m, "count": n}
+            for (p, r, m), n in sorted(counts.items())
+        ],
+    }
+    pathlib.Path(path).write_text(json.dumps(doc, indent=2) + "\n")
+
+
+def load_baseline(path: str | pathlib.Path) -> Counter:
+    doc = json.loads(pathlib.Path(path).read_text())
+    if doc.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"{path}: not a reprolint baseline (schema "
+            f"{doc.get('schema')!r}, expected {BASELINE_SCHEMA!r})"
+        )
+    counts: Counter = Counter()
+    for entry in doc.get("entries", []):
+        counts[(entry["path"], entry["rule"], entry["message"])] = int(
+            entry.get("count", 1)
+        )
+    return counts
+
+
+def new_findings(
+    findings: list["Finding"], baseline: Counter
+) -> list["Finding"]:
+    """Findings beyond the baselined count for their fingerprint.
+
+    Within one fingerprint the lowest-line occurrences are considered
+    baselined; the surplus is new.
+    """
+    by_fp: dict[tuple, list] = {}
+    for f in findings:
+        by_fp.setdefault(fingerprint(f), []).append(f)
+    fresh: list["Finding"] = []
+    for fp, group in by_fp.items():
+        allowed = baseline.get(fp, 0)
+        group.sort(key=lambda f: (f.line, f.col))
+        fresh.extend(group[allowed:])
+    return sorted(fresh)
+
+
+def changed_paths(paths: Iterable[str | pathlib.Path]) -> list[pathlib.Path]:
+    """Changed ``*.py`` files (per git) under the requested paths.
+
+    Raises RuntimeError when git is unavailable or a path is outside a
+    work tree.
+    """
+    requested = [pathlib.Path(p).resolve() for p in paths]
+    roots: dict[pathlib.Path, None] = {}
+    for p in requested:
+        probe = p if p.is_dir() else p.parent
+        try:
+            proc = subprocess.run(
+                ["git", "-C", str(probe), "rev-parse", "--show-toplevel"],
+                capture_output=True,
+                text=True,
+                check=True,
+            )
+        except (OSError, subprocess.CalledProcessError) as exc:
+            raise RuntimeError(
+                f"--changed: {p} is not inside a git work tree ({exc})"
+            ) from exc
+        roots.setdefault(pathlib.Path(proc.stdout.strip()), None)
+    changed: list[pathlib.Path] = []
+    seen: set[pathlib.Path] = set()
+    for root in roots:
+        proc = subprocess.run(
+            ["git", "-C", str(root), "status", "--porcelain"],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        for line in proc.stdout.splitlines():
+            if len(line) < 4:
+                continue
+            rel = line[3:]
+            if " -> " in rel:  # rename: lint the new path
+                rel = rel.split(" -> ", 1)[1]
+            rel = rel.strip().strip('"')
+            candidate = (root / rel).resolve()
+            if candidate.suffix != ".py" or not candidate.is_file():
+                continue
+            if candidate in seen:
+                continue
+            for req in requested:
+                if candidate == req or req in candidate.parents:
+                    seen.add(candidate)
+                    changed.append(candidate)
+                    break
+    return sorted(changed)

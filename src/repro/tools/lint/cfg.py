@@ -1,0 +1,334 @@
+"""Per-function control-flow graphs for reprolint's flow-aware rules.
+
+A :class:`CFG` is a list of :class:`Block` objects — straight-line
+statement sequences connected by directed edges — built from a
+``FunctionDef`` (or a ``Module``, for top-level code) by
+:func:`build_cfg`.  Compound statements (``if``/``for``/``while``/
+``try``/``with``/``match``) appear as the *header* statement of their
+block; their bodies are lowered into separate blocks.  Transfer
+functions therefore never descend into a compound statement's body —
+they only need :func:`shallow_defs` (the names the header itself binds)
+and :func:`header_exprs` (the expressions the header itself evaluates).
+
+Approximations, chosen deliberately for lint-grade analysis:
+
+* A ``try`` body's handlers receive edges from the block *before* the
+  ``try`` and from every block created while lowering the body — an
+  exception mid-block is approximated by those two program points.
+* ``finally`` is lowered at the normal-exit join only; the exceptional
+  path through ``finally`` is not modeled.
+* Nested ``def``/``class`` statements are atomic: they bind their name
+  and are otherwise opaque (each nested function gets its own CFG).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+__all__ = [
+    "Block",
+    "CFG",
+    "build_cfg",
+    "shallow_defs",
+    "header_exprs",
+    "target_names",
+    "assigned_names",
+]
+
+_LOOPS = (ast.For, ast.AsyncFor, ast.While)
+
+
+class Block:
+    """A straight-line sequence of statements with CFG edges."""
+
+    __slots__ = ("bid", "stmts", "succs", "preds")
+
+    def __init__(self, bid: int) -> None:
+        self.bid = bid
+        self.stmts: list[ast.AST] = []
+        self.succs: list[Block] = []
+        self.preds: list[Block] = []
+
+    def __repr__(self) -> str:
+        head = self.stmts[0].__class__.__name__ if self.stmts else "empty"
+        return f"<Block {self.bid} {head} ->{[s.bid for s in self.succs]}>"
+
+
+class CFG:
+    """Control-flow graph with a synthetic entry and exit block."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.blocks: list[Block] = []
+        self.entry = self.new_block()
+        self.exit = self.new_block()
+
+    def new_block(self) -> Block:
+        b = Block(len(self.blocks))
+        self.blocks.append(b)
+        return b
+
+    def add_edge(self, src: Block, dst: Block) -> None:
+        if dst not in src.succs:
+            src.succs.append(dst)
+            dst.preds.append(src)
+
+
+class _Builder:
+    def __init__(self, name: str) -> None:
+        self.cfg = CFG(name)
+        #: (header, after) pairs for the enclosing loops
+        self.loops: list[tuple[Block, Block]] = []
+        #: handler-entry blocks of the enclosing ``try`` statements
+        self.handlers: list[list[Block]] = []
+
+    def build(self, body: list[ast.stmt]) -> CFG:
+        end = self.lower(body, self.cfg.entry)
+        if end is not None:
+            self.cfg.add_edge(end, self.cfg.exit)
+        return self.cfg
+
+    def lower(self, stmts: list[ast.stmt], cur: Block | None) -> Block | None:
+        """Lower a statement list; return the fall-through block (None if
+        every path leaves via return/raise/break/continue)."""
+        for stmt in stmts:
+            if cur is None:
+                # unreachable code still gets a block so its statements
+                # stay visible to rules (it just has no predecessors)
+                cur = self.cfg.new_block()
+            cur = self._stmt(stmt, cur)
+        return cur
+
+    def _stmt(self, stmt: ast.stmt, cur: Block) -> Block | None:
+        cfg = self.cfg
+        if isinstance(stmt, ast.If):
+            cur.stmts.append(stmt)
+            after = cfg.new_block()
+            then = cfg.new_block()
+            cfg.add_edge(cur, then)
+            t_end = self.lower(stmt.body, then)
+            if t_end is not None:
+                cfg.add_edge(t_end, after)
+            if stmt.orelse:
+                els = cfg.new_block()
+                cfg.add_edge(cur, els)
+                e_end = self.lower(stmt.orelse, els)
+                if e_end is not None:
+                    cfg.add_edge(e_end, after)
+            else:
+                cfg.add_edge(cur, after)
+            return after if after.preds else None
+
+        if isinstance(stmt, _LOOPS):
+            header = cfg.new_block()
+            header.stmts.append(stmt)  # binds the For target
+            cfg.add_edge(cur, header)
+            after = cfg.new_block()
+            body = cfg.new_block()
+            cfg.add_edge(header, body)
+            self.loops.append((header, after))
+            b_end = self.lower(stmt.body, body)
+            self.loops.pop()
+            if b_end is not None:
+                cfg.add_edge(b_end, header)  # back edge
+            if stmt.orelse:
+                els = cfg.new_block()
+                cfg.add_edge(header, els)
+                e_end = self.lower(stmt.orelse, els)
+                if e_end is not None:
+                    cfg.add_edge(e_end, after)
+            else:
+                cfg.add_edge(header, after)
+            return after if after.preds else None
+
+        if isinstance(stmt, ast.Try) or (
+            hasattr(ast, "TryStar") and isinstance(stmt, ast.TryStar)
+        ):
+            return self._try(stmt, cur)
+
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            cur.stmts.append(stmt)  # binds the ``as`` names
+            return self.lower(stmt.body, cur)
+
+        if isinstance(stmt, ast.Match):
+            cur.stmts.append(stmt)
+            after = cfg.new_block()
+            cfg.add_edge(cur, after)  # no case matched
+            for case in stmt.cases:
+                cb = cfg.new_block()
+                cfg.add_edge(cur, cb)
+                c_end = self.lower(case.body, cb)
+                if c_end is not None:
+                    cfg.add_edge(c_end, after)
+            return after
+
+        if isinstance(stmt, ast.Return):
+            cur.stmts.append(stmt)
+            cfg.add_edge(cur, cfg.exit)
+            return None
+        if isinstance(stmt, ast.Raise):
+            cur.stmts.append(stmt)
+            if self.handlers:
+                for he in self.handlers[-1]:
+                    cfg.add_edge(cur, he)
+            else:
+                cfg.add_edge(cur, cfg.exit)
+            return None
+        if isinstance(stmt, ast.Break):
+            cur.stmts.append(stmt)
+            if self.loops:
+                cfg.add_edge(cur, self.loops[-1][1])
+            return None
+        if isinstance(stmt, ast.Continue):
+            cur.stmts.append(stmt)
+            if self.loops:
+                cfg.add_edge(cur, self.loops[-1][0])
+            return None
+
+        # simple statement (including nested def/class, treated atomically)
+        cur.stmts.append(stmt)
+        return cur
+
+    def _try(self, stmt: ast.Try, cur: Block) -> Block | None:
+        cfg = self.cfg
+        after = cfg.new_block()
+        h_entries: list[Block] = []
+        for handler in stmt.handlers:
+            hb = cfg.new_block()
+            hb.stmts.append(handler)  # binds ``except E as name``
+            h_entries.append(hb)
+            cfg.add_edge(cur, hb)  # exception before any body statement
+        mark = len(cfg.blocks)
+        body_entry = cfg.new_block()
+        cfg.add_edge(cur, body_entry)
+        self.handlers.append(h_entries)
+        b_end = self.lower(stmt.body, body_entry)
+        self.handlers.pop()
+        # an exception may fly out of any body block
+        for blk in cfg.blocks[mark:]:
+            for he in h_entries:
+                if blk is not he:
+                    cfg.add_edge(blk, he)
+        e_end = b_end
+        if stmt.orelse:
+            if b_end is not None:
+                els = cfg.new_block()
+                cfg.add_edge(b_end, els)
+                e_end = self.lower(stmt.orelse, els)
+            else:
+                e_end = None
+        if e_end is not None:
+            cfg.add_edge(e_end, after)
+        for handler, hb in zip(stmt.handlers, h_entries):
+            h_end = self.lower(handler.body, hb)
+            if h_end is not None:
+                cfg.add_edge(h_end, after)
+        if not after.preds:
+            return None
+        if stmt.finalbody:
+            return self.lower(stmt.finalbody, after)
+        return after
+
+
+def build_cfg(node: ast.FunctionDef | ast.AsyncFunctionDef | ast.Module) -> CFG:
+    """Build the CFG of a function body (or a module's top-level code)."""
+    name = getattr(node, "name", "<module>")
+    return _Builder(name).build(node.body)
+
+
+# ----------------------------------------------------------------------------
+# shallow statement structure (what a block header binds / evaluates itself)
+def target_names(t: ast.AST) -> Iterator[str]:
+    """Names bound by an assignment/``for``/``with`` target expression."""
+    if isinstance(t, ast.Name):
+        yield t.id
+    elif isinstance(t, (ast.Tuple, ast.List)):
+        for e in t.elts:
+            yield from target_names(e)
+    elif isinstance(t, ast.Starred):
+        yield from target_names(t.value)
+
+
+def header_exprs(stmt: ast.AST) -> list[ast.expr]:
+    """Expressions a statement evaluates *itself* (not in a nested body)."""
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, ast.Match):
+        return [stmt.subject]
+    if isinstance(stmt, ast.ExceptHandler):
+        return [stmt.type] if stmt.type is not None else []
+    if isinstance(
+        stmt, (ast.Try, ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+    ):
+        return []
+    # a simple statement is all header
+    return [stmt]  # type: ignore[list-item]
+
+
+def shallow_defs(stmt: ast.AST) -> list[tuple[str, ast.AST]]:
+    """(name, defining node) pairs the statement itself binds.
+
+    Compound statements contribute only their header bindings (``for``
+    targets, ``with ... as``, ``except ... as``, the ``def``/``class``
+    name); bodies are separate blocks and contribute their own defs.
+    """
+    out: list[tuple[str, ast.AST]] = []
+    if isinstance(stmt, ast.Assign):
+        for t in stmt.targets:
+            out.extend((n, stmt) for n in target_names(t))
+    elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        if isinstance(stmt.target, ast.Name):
+            out.append((stmt.target.id, stmt))
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        out.extend((n, stmt) for n in target_names(stmt.target))
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                out.extend((n, stmt) for n in target_names(item.optional_vars))
+    elif isinstance(stmt, ast.ExceptHandler):
+        if stmt.name:
+            out.append((stmt.name, stmt))
+    elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+        for alias in stmt.names:
+            if alias.name == "*":
+                continue
+            out.append((alias.asname or alias.name.split(".")[0], stmt))
+    elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        out.append((stmt.name, stmt))
+    # walrus targets in the statement's own expressions
+    for expr in header_exprs(stmt):
+        for sub in ast.walk(expr):
+            if isinstance(sub, ast.NamedExpr) and isinstance(
+                sub.target, ast.Name
+            ):
+                out.append((sub.target.id, sub))
+    return out
+
+
+def assigned_names(stmts: list[ast.stmt]) -> set[str]:
+    """All names bound anywhere in ``stmts``, descending into compound
+    statements but not into nested function/class bodies."""
+    out: set[str] = set()
+
+    def visit(stmt: ast.AST) -> None:
+        for name, _node in shallow_defs(stmt):
+            out.add(name)
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return
+        for attr in ("body", "orelse", "finalbody"):
+            for sub in getattr(stmt, attr, []):
+                visit(sub)
+        for handler in getattr(stmt, "handlers", []):
+            visit(handler)
+        for case in getattr(stmt, "cases", []):
+            for sub in case.body:
+                visit(sub)
+
+    for s in stmts:
+        visit(s)
+    return out

@@ -1,0 +1,536 @@
+"""Dataflow analyses over reprolint CFGs.
+
+Two analyses share one forward worklist engine (:class:`ForwardAnalysis`):
+
+* :class:`ReachingDefinitions` — which assignments of each name may
+  reach each statement (used by R006 to resolve aliased allocators and
+  ``dtype=`` variables).
+* :class:`DtypeFlow` — a small abstract interpretation whose facts are
+  sets of *reduced-precision origins* (``.astype(float32)`` downcasts,
+  low-precision ``np.zeros``/``np.empty`` allocations, calls to mirror
+  helpers such as ``fp32_mirror``).  Facts propagate through
+  assignments, slicing, precision-preserving methods and arithmetic;
+  they are *cleared* by an upcast (``.astype`` to a non-reduced dtype)
+  and by storing into an existing wider buffer (``buf[...] = x32``
+  upcasts on assignment).  R001 flags an origin only when its value
+  *escapes* — via ``return``/``yield``, an attribute store, or a
+  module-level binding — from a function that is not itself a
+  whitelisted mixed-precision kernel (name matching
+  :data:`WHITELIST_NAME_RE`).
+
+Environments map names to frozensets of facts; joins are pointwise
+unions and transfers are strong updates, so the fixpoint terminates
+(the fact universe per function is finite).  After the fixpoint, one
+*record* pass over the stable block-entry environments collects
+per-statement results (reaching-def snapshots, escapes).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .cfg import CFG, Block, build_cfg, header_exprs, shallow_defs, target_names
+
+__all__ = [
+    "LOWPREC_ATTRS",
+    "LOWPREC_STRINGS",
+    "WHITELIST_NAME_RE",
+    "dotted_name",
+    "module_functions",
+    "lowprec_dtype_names",
+    "is_lowprec_dtype",
+    "ForwardAnalysis",
+    "ReachingDefinitions",
+    "DtypeFlow",
+    "LowOrigin",
+    "Escape",
+    "ModuleDtypeReport",
+    "analyze_module_dtypes",
+]
+
+#: attribute / string spellings of reduced-precision dtypes
+LOWPREC_ATTRS = frozenset(
+    {"float32", "complex64", "float16", "half", "single", "csingle"}
+)
+LOWPREC_STRINGS = frozenset(
+    {"float32", "complex64", "float16", "single", "f4", "c8", "f2"}
+)
+
+#: functions allowed to handle reduced precision internally (the
+#: whitelisted mixed-precision kernels announce it in their name)
+WHITELIST_NAME_RE = re.compile(
+    r"(fp32|f32|c64|mirror|lowprec|low_prec|half|single)", re.IGNORECASE
+)
+#: call leaves that *produce* a reduced-precision array by convention
+_HELPER_RE = re.compile(r"(fp32|f32|c64|mirror)", re.IGNORECASE)
+
+#: attribute accesses that preserve the array's storage dtype
+_PRESERVING_ATTRS = frozenset({"real", "imag", "T"})
+#: zero-argument-ish methods that preserve the storage dtype
+_PRESERVING_METHODS = frozenset(
+    {"conj", "conjugate", "copy", "reshape", "ravel", "transpose", "view",
+     "squeeze"}
+)
+_NP_ALLOC = frozenset(
+    {"zeros", "empty", "ones", "full", "array", "asarray",
+     "ascontiguousarray", "asfortranarray"}
+)
+_NP_ALLOC_LIKE = frozenset(
+    {"zeros_like", "empty_like", "ones_like", "full_like"}
+)
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """Render a Name/Attribute chain as ``a.b.c`` (None if not a chain)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def module_functions(
+    tree: ast.Module,
+) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def lowprec_dtype_names(tree: ast.Module) -> set[str]:
+    """Names assigned from a reduced-precision *dtype-valued* expression
+    (``f32 = np.float32``, ``pdt = f32_dtype(X.dtype)``...)."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name) and is_lowprec_dtype(
+                node.value, names
+            ):
+                names.add(target.id)
+    return names
+
+
+def is_lowprec_dtype(node: ast.AST, names: set[str]) -> bool:
+    """Does this expression denote a reduced-precision dtype value?"""
+    if isinstance(node, ast.Attribute) and node.attr in LOWPREC_ATTRS:
+        return True
+    if isinstance(node, ast.Name) and node.id in names:
+        return True
+    if isinstance(node, ast.Constant) and node.value in LOWPREC_STRINGS:
+        return True
+    if isinstance(node, ast.IfExp):
+        return is_lowprec_dtype(node.body, names) or is_lowprec_dtype(
+            node.orelse, names
+        )
+    if isinstance(node, ast.Call):
+        dotted = dotted_name(node.func)
+        if dotted is not None:
+            leaf = dotted.rsplit(".", maxsplit=1)[-1]
+            # np.dtype("float32"), and helper factories like f32_dtype(...)
+            if leaf == "dtype" and node.args and is_lowprec_dtype(
+                node.args[0], names
+            ):
+                return True
+            if "f32" in leaf or "c64" in leaf:
+                return True
+    return False
+
+
+def _join_envs(a: dict, b: dict) -> dict:
+    return {
+        k: a.get(k, frozenset()) | b.get(k, frozenset())
+        for k in a.keys() | b.keys()
+    }
+
+
+# ----------------------------------------------------------------------------
+class ForwardAnalysis:
+    """Forward worklist fixpoint with union joins over a CFG."""
+
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+        self.in_envs: dict[int, dict | None] = {}
+
+    def initial_env(self) -> dict:
+        return {}
+
+    def transfer(self, stmt: ast.AST, env: dict, record: bool) -> None:
+        raise NotImplementedError
+
+    def run(self) -> "ForwardAnalysis":
+        cfg = self.cfg
+        self.in_envs = {b.bid: None for b in cfg.blocks}
+        self.in_envs[cfg.entry.bid] = self.initial_env()
+        work: list[Block] = [cfg.entry]
+        pending = {cfg.entry.bid}
+        while work:
+            block = work.pop(0)
+            pending.discard(block.bid)
+            env_in = self.in_envs[block.bid]
+            if env_in is None:
+                continue
+            out = dict(env_in)
+            for stmt in block.stmts:
+                self.transfer(stmt, out, record=False)
+            for succ in block.succs:
+                cur = self.in_envs[succ.bid]
+                joined = dict(out) if cur is None else _join_envs(cur, out)
+                if joined != cur:
+                    self.in_envs[succ.bid] = joined
+                    if succ.bid not in pending:
+                        pending.add(succ.bid)
+                        work.append(succ)
+        # record pass over the stable environments
+        for block in cfg.blocks:
+            env_in = self.in_envs[block.bid]
+            if env_in is None:
+                continue
+            env = dict(env_in)
+            for stmt in block.stmts:
+                self.transfer(stmt, env, record=True)
+        return self
+
+
+# ----------------------------------------------------------------------------
+class ReachingDefinitions(ForwardAnalysis):
+    """Which definition statements of each name may reach each statement."""
+
+    def __init__(self, cfg: CFG) -> None:
+        super().__init__(cfg)
+        self.before: dict[int, dict[str, frozenset]] = {}
+
+    def transfer(self, stmt: ast.AST, env: dict, record: bool) -> None:
+        if record:
+            self.before[id(stmt)] = dict(env)
+        for name, node in shallow_defs(stmt):
+            env[name] = frozenset({node})  # strong update
+
+    def defs_at(self, stmt: ast.AST, name: str) -> frozenset:
+        """Definition nodes of ``name`` that may reach ``stmt`` (the
+        statement must be a block statement of this CFG)."""
+        return self.before.get(id(stmt), {}).get(name, frozenset())
+
+
+# ----------------------------------------------------------------------------
+@dataclass(frozen=True, eq=False)
+class LowOrigin:
+    """A program point that creates a reduced-precision array."""
+
+    node: ast.AST
+    kind: str  # "downcast" | "allocation" | "helper-call"
+    detail: str
+
+
+@dataclass(frozen=True, eq=False)
+class Escape:
+    """A reduced-precision value leaving its defining scope."""
+
+    origin: LowOrigin
+    site: ast.AST
+    kind: str  # "return" | "yield" | "attribute-store" | "module-global"
+    scope: str
+
+
+def _is_scalar(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, (int, float, complex))
+    if isinstance(node, ast.UnaryOp):
+        return _is_scalar(node.operand)
+    return False
+
+
+class DtypeFlow(ForwardAnalysis):
+    """Abstract interpretation propagating reduced-precision origins."""
+
+    def __init__(
+        self,
+        cfg: CFG,
+        *,
+        dtype_names: set[str] | None = None,
+        summaries: dict[str, bool] | None = None,
+        is_module: bool = False,
+        scope: str = "",
+    ) -> None:
+        super().__init__(cfg)
+        self.dtype_names = dtype_names or set()
+        self.summaries = summaries or {}
+        self.is_module = is_module
+        self.scope = scope or cfg.name
+        self.escapes: list[Escape] = []
+        self.returns_low = False
+        self._origin_cache: dict[int, LowOrigin] = {}
+        self._escape_keys: set[tuple[int, int, str]] = set()
+
+    # -- origins -------------------------------------------------------------
+    def _origin(self, node: ast.AST, kind: str, detail: str) -> LowOrigin:
+        cached = self._origin_cache.get(id(node))
+        if cached is None:
+            cached = LowOrigin(node, kind, detail)
+            self._origin_cache[id(node)] = cached
+        return cached
+
+    # -- expression evaluation -----------------------------------------------
+    def eval(self, node: ast.AST, env: dict) -> frozenset:
+        if isinstance(node, ast.Name):
+            return env.get(node.id, frozenset())
+        if isinstance(node, ast.Subscript):
+            return self.eval(node.value, env)
+        if isinstance(node, ast.Attribute):
+            if node.attr in _PRESERVING_ATTRS:
+                return self.eval(node.value, env)
+            return frozenset()
+        if isinstance(node, ast.UnaryOp):
+            return self.eval(node.operand, env)
+        if isinstance(node, ast.BinOp):
+            left = self.eval(node.left, env)
+            right = self.eval(node.right, env)
+            if left and right:
+                return left | right
+            if left and _is_scalar(node.right):
+                return left
+            if right and _is_scalar(node.left):
+                return right
+            # mixed low/wide arithmetic upcasts to the wider dtype
+            return frozenset()
+        if isinstance(node, ast.IfExp):
+            return self.eval(node.body, env) | self.eval(node.orelse, env)
+        if isinstance(node, ast.NamedExpr):
+            fact = self.eval(node.value, env)
+            if isinstance(node.target, ast.Name):
+                env[node.target.id] = fact
+            return fact
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, env)
+        return frozenset()
+
+    def _eval_call(self, node: ast.Call, env: dict) -> frozenset:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if func.attr == "astype":
+                if node.args and is_lowprec_dtype(
+                    node.args[0], self.dtype_names
+                ):
+                    return frozenset(
+                        {self._origin(node, "downcast",
+                                      "astype() to a reduced-precision dtype")}
+                    )
+                return frozenset()  # upcast / unknown target clears the fact
+            if func.attr in _PRESERVING_METHODS:
+                return self.eval(func.value, env)
+        dotted = dotted_name(func)
+        if dotted is None:
+            return frozenset()
+        parts = dotted.split(".")
+        leaf = parts[-1]
+        is_np = len(parts) >= 2 and parts[0] in ("np", "numpy")
+        dtype_kw = next(
+            (kw.value for kw in node.keywords if kw.arg == "dtype"), None
+        )
+        out_kw = next(
+            (kw.value for kw in node.keywords if kw.arg == "out"), None
+        )
+        if is_np and leaf in _NP_ALLOC:
+            dtype_expr = dtype_kw
+            if (
+                dtype_expr is None
+                and leaf in ("zeros", "empty", "ones")
+                and len(node.args) >= 2
+            ):
+                dtype_expr = node.args[1]
+            if dtype_expr is not None:
+                if is_lowprec_dtype(dtype_expr, self.dtype_names):
+                    return frozenset(
+                        {self._origin(node, "allocation",
+                                      f"np.{leaf} with a reduced-precision "
+                                      "dtype")}
+                    )
+                return frozenset()
+            if leaf in ("array", "asarray", "ascontiguousarray",
+                        "asfortranarray") and node.args:
+                return self.eval(node.args[0], env)
+            return frozenset()
+        if is_np and leaf in _NP_ALLOC_LIKE:
+            if dtype_kw is not None:
+                if is_lowprec_dtype(dtype_kw, self.dtype_names):
+                    return frozenset(
+                        {self._origin(node, "allocation",
+                                      f"np.{leaf} with a reduced-precision "
+                                      "dtype")}
+                    )
+                return frozenset()
+            return self.eval(node.args[0], env) if node.args else frozenset()
+        if is_np:
+            # ufunc-style call: out= determines the result's storage dtype
+            if out_kw is not None:
+                return self.eval(out_kw, env)
+            facts = [self.eval(a, env) for a in node.args]
+            nonempty = [f for f in facts if f]
+            if nonempty and all(
+                f or _is_scalar(a) for f, a in zip(facts, node.args)
+            ):
+                return frozenset().union(*nonempty)
+            return frozenset()
+        # helper producing a reduced-precision array by naming convention
+        # (fp32_mirror & friends); *_dtype factories yield dtype values,
+        # not arrays
+        if "dtype" not in leaf.lower() and _HELPER_RE.search(leaf):
+            return frozenset(
+                {self._origin(node, "helper-call", f"call to {dotted}()")}
+            )
+        if isinstance(func, ast.Name) and self.summaries.get(leaf):
+            return frozenset(
+                {self._origin(node, "helper-call",
+                              f"call to local '{leaf}()' which returns a "
+                              "reduced-precision value")}
+            )
+        return frozenset()
+
+    # -- statement transfer --------------------------------------------------
+    def transfer(self, stmt: ast.AST, env: dict, record: bool) -> None:
+        if isinstance(stmt, ast.Assign):
+            fact = self.eval(stmt.value, env)
+            for target in stmt.targets:
+                self._assign(target, stmt.value, fact, env, record, stmt)
+            return
+        if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            fact = self.eval(stmt.value, env)
+            self._assign(stmt.target, stmt.value, fact, env, record, stmt)
+            return
+        if isinstance(stmt, ast.AugAssign):
+            # x += low keeps x's storage dtype (in-place upcast)
+            return
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                fact = self.eval(stmt.value, env)
+                if fact:
+                    self.returns_low = True
+                    if record:
+                        self._escape(fact, stmt, "return")
+            return
+        if isinstance(stmt, ast.Expr):
+            value = stmt.value
+            if isinstance(value, (ast.Yield, ast.YieldFrom)):
+                inner = getattr(value, "value", None)
+                if inner is not None:
+                    fact = self.eval(inner, env)
+                    if fact:
+                        self.returns_low = True
+                        if record:
+                            self._escape(fact, value, "yield")
+                return
+            self.eval(value, env)  # evaluate for walrus side effects
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            # iterating a reduced-precision array yields its rows
+            fact = self.eval(stmt.iter, env)
+            for name in target_names(stmt.target):
+                env[name] = fact
+            return
+        # other statements: evaluate headers (walrus), kill header bindings
+        for expr in header_exprs(stmt):
+            self.eval(expr, env)
+        for name, node in shallow_defs(stmt):
+            if not isinstance(node, ast.NamedExpr):
+                env[name] = frozenset()
+
+    def _assign(
+        self,
+        target: ast.AST,
+        value: ast.AST | None,
+        fact: frozenset,
+        env: dict,
+        record: bool,
+        stmt: ast.AST,
+    ) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = fact
+            if (
+                fact
+                and self.is_module
+                and record
+                and not WHITELIST_NAME_RE.search(target.id)
+            ):
+                self._escape(fact, stmt, "module-global")
+        elif isinstance(target, ast.Attribute):
+            # storing on an object publishes the reduced-precision buffer
+            if fact and record:
+                self._escape(fact, stmt, "attribute-store")
+        elif isinstance(target, ast.Subscript):
+            # store into an existing buffer adopts *its* dtype (upcast on
+            # assignment) — not an escape
+            pass
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            if isinstance(value, (ast.Tuple, ast.List)) and len(
+                value.elts
+            ) == len(target.elts):
+                for t, v in zip(target.elts, value.elts):
+                    self._assign(t, v, self.eval(v, env), env, record, stmt)
+            else:
+                for t in target.elts:
+                    self._assign(t, None, fact, env, record, stmt)
+        elif isinstance(target, ast.Starred):
+            self._assign(target.value, None, fact, env, record, stmt)
+
+    def _escape(self, fact: frozenset, site: ast.AST, kind: str) -> None:
+        for origin in fact:
+            key = (id(origin.node), id(site), kind)
+            if key not in self._escape_keys:
+                self._escape_keys.add(key)
+                self.escapes.append(Escape(origin, site, kind, self.scope))
+
+
+# ----------------------------------------------------------------------------
+@dataclass
+class ModuleDtypeReport:
+    """Escapes and per-function return summaries for one module."""
+
+    escapes: list[Escape] = field(default_factory=list)
+    summaries: dict[str, bool] = field(default_factory=dict)
+
+
+def analyze_module_dtypes(tree: ast.Module) -> ModuleDtypeReport:
+    """Run :class:`DtypeFlow` over every function and the module top level.
+
+    Two fixpoint passes propagate ``returns_low`` summaries through
+    module-local call chains (one level of indirection per pass);
+    functions whose *name* matches :data:`WHITELIST_NAME_RE` are
+    whitelisted mixed-precision kernels and are skipped entirely.
+    """
+    dtype_names = lowprec_dtype_names(tree)
+    fns = list(module_functions(tree))
+    summaries: dict[str, bool] = {}
+    collected: list[Escape] = []
+    for _pass in (1, 2):
+        next_summaries: dict[str, bool] = {}
+        collected = []
+        for fn in fns:
+            if WHITELIST_NAME_RE.search(fn.name):
+                next_summaries[fn.name] = False
+                continue
+            flow = DtypeFlow(
+                build_cfg(fn),
+                dtype_names=dtype_names,
+                summaries=summaries,
+                scope=fn.name,
+            )
+            flow.run()
+            next_summaries[fn.name] = flow.returns_low
+            collected.extend(flow.escapes)
+        summaries = next_summaries
+    mod_flow = DtypeFlow(
+        build_cfg(tree),
+        dtype_names=dtype_names,
+        summaries=summaries,
+        is_module=True,
+        scope="<module>",
+    )
+    mod_flow.run()
+    collected.extend(mod_flow.escapes)
+    return ModuleDtypeReport(escapes=collected, summaries=summaries)

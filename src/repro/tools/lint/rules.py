@@ -22,9 +22,21 @@ R010      ``np.add.at`` scatter-adds outside the sanctioned
           ``repro/fem`` fast-scatter implementation
 R011      broad ``except Exception`` / ``except BaseException`` / bare
           ``except`` outside the ``repro/resilience`` recovery boundary
-R012      ``.astype`` casts inside loops in the numerical core, where
-          the batched subspace engine's single-cast mirrors belong
+R012      ``.astype`` casts of loop-invariant data inside loops in the
+          numerical core, where the batched subspace engine's
+          single-cast mirrors belong
 ========  ==========================================================
+
+The concurrency-safety rules R013–R016 (unlocked shared-state mutation,
+pooled-buffer escapes, hot-loop environment reads, module-global
+mutation from thread entries) live in
+:mod:`repro.tools.lint.concurrency`.
+
+R001, R006 and R012 are *flow-aware*: they run reaching definitions and
+a dtype abstract interpretation over per-function CFGs (see
+:mod:`repro.tools.lint.cfg` / :mod:`repro.tools.lint.dataflow`) so that
+a downcast is flagged only where the reduced-precision value *escapes*
+a non-whitelisted scope, not merely where ``.astype`` appears.
 
 Add a rule by subclassing :class:`~repro.tools.lint.Rule`, decorating it
 with :func:`~repro.tools.lint.register`, and yielding
@@ -37,6 +49,20 @@ import ast
 from typing import Iterator
 
 from . import FileContext, Finding, Rule, register
+from .cfg import (
+    assigned_names,
+    build_cfg,
+    header_exprs,
+    shallow_defs,
+    target_names,
+)
+from .dataflow import (
+    Escape,
+    LowOrigin,
+    ReachingDefinitions,
+    analyze_module_dtypes,
+    module_functions,
+)
 
 __all__ = [
     "DowncastOutsideWhitelist",
@@ -53,13 +79,6 @@ __all__ = [
     "AstypeInsideLoop",
 ]
 
-#: attribute / string spellings of reduced-precision dtypes
-_LOWPREC_ATTRS = frozenset(
-    {"float32", "complex64", "float16", "half", "single", "csingle"}
-)
-_LOWPREC_STRINGS = frozenset(
-    {"float32", "complex64", "float16", "single", "f4", "c8", "f2"}
-)
 
 
 def _dotted(node: ast.AST) -> str | None:
@@ -83,75 +102,50 @@ def _functions(tree: ast.Module) -> Iterator[ast.FunctionDef | ast.AsyncFunction
 # ----------------------------------------------------------------------------
 @register
 class DowncastOutsideWhitelist(Rule):
-    """R001: ``.astype`` to FP32/complex64 silently drops precision.
+    """R001: a reduced-precision value *escapes* a non-whitelisted scope.
 
     The paper's speedups rely on FP32 *blocks* inside CholGS-S/CholGS-O,
-    RR-P/RR-SR and the halo exchange — and nowhere else.  Every downcast
-    must either be one of those whitelisted kernels (carrying a
-    ``# reprolint: disable=R001`` annotation documenting why the precision
-    loss is bounded) or is a bug.
+    RR-P/RR-SR and the halo exchange — and nowhere else.  The dataflow
+    engine (:mod:`repro.tools.lint.dataflow`) tracks every downcast,
+    low-precision allocation and mirror-helper call through assignments,
+    slicing and arithmetic; a finding is reported at the *origin* only
+    when the value leaks out of its scope — via ``return``/``yield``, an
+    attribute store, or a module-level binding.  Downcasts that are
+    immediately upcast back (``x.astype(f32) ... .astype(x.dtype)``) or
+    stored into an existing wider buffer (``out[...] = x32`` upcasts on
+    assignment) are confined and therefore clean; functions whose name
+    marks them as mixed-precision kernels (``fp32_mirror``, ``*_f32``...)
+    are whitelisted wholesale.
     """
 
     rule_id = "R001"
     severity = "error"
     description = (
-        "astype() downcast to a reduced-precision dtype outside the "
+        "reduced-precision value (astype downcast, low-precision "
+        "allocation, mirror helper) escapes a scope outside the "
         "whitelisted mixed-precision kernels"
     )
 
-    def _lowprec_names(self, tree: ast.Module) -> set[str]:
-        """Names assigned from a reduced-precision dtype expression."""
-        names: set[str] = set()
-        for node in ast.walk(tree):
-            if isinstance(node, ast.Assign) and len(node.targets) == 1:
-                target = node.targets[0]
-                if isinstance(target, ast.Name) and self._is_lowprec(
-                    node.value, names
-                ):
-                    names.add(target.id)
-        return names
-
-    def _is_lowprec(self, node: ast.AST, names: set[str]) -> bool:
-        if isinstance(node, ast.Attribute) and node.attr in _LOWPREC_ATTRS:
-            return True
-        if isinstance(node, ast.Name) and node.id in names:
-            return True
-        if isinstance(node, ast.Constant) and node.value in _LOWPREC_STRINGS:
-            return True
-        if isinstance(node, ast.IfExp):
-            return self._is_lowprec(node.body, names) or self._is_lowprec(
-                node.orelse, names
-            )
-        if isinstance(node, ast.Call):
-            dotted = _dotted(node.func)
-            if dotted is not None:
-                leaf = dotted.rsplit(".", maxsplit=1)[-1]
-                # np.dtype("float32"), and helper factories like _f32(...)
-                if leaf == "dtype" and node.args and self._is_lowprec(
-                    node.args[0], names
-                ):
-                    return True
-                if "f32" in leaf or "c64" in leaf:
-                    return True
-        return False
-
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        names = self._lowprec_names(ctx.tree)
-        for node in ast.walk(ctx.tree):
-            if (
-                isinstance(node, ast.Call)
-                and isinstance(node.func, ast.Attribute)
-                and node.func.attr == "astype"
-                and node.args
-                and self._is_lowprec(node.args[0], names)
-            ):
-                yield ctx.finding(
-                    self,
-                    node,
-                    "reduced-precision astype() outside a whitelisted "
-                    "mixed-precision kernel; annotate intentional downcasts "
-                    "with `# reprolint: disable=R001`",
-                )
+        report = analyze_module_dtypes(ctx.tree)
+        by_origin: dict[int, tuple[LowOrigin, list[Escape]]] = {}
+        for esc in report.escapes:
+            entry = by_origin.setdefault(
+                id(esc.origin.node), (esc.origin, [])
+            )
+            entry[1].append(esc)
+        for origin, escapes in by_origin.values():
+            first = min(
+                escapes, key=lambda e: getattr(e.site, "lineno", 0)
+            )
+            yield ctx.finding(
+                self,
+                origin.node,
+                f"{origin.detail} escapes '{first.scope}' via {first.kind} "
+                f"(line {getattr(first.site, 'lineno', '?')}); confine the "
+                "reduced-precision value to a whitelisted kernel or "
+                "annotate with `# reprolint: disable=R001`",
+            )
 
 
 # ----------------------------------------------------------------------------
@@ -441,33 +435,147 @@ class ImplicitDtypeAllocation(Rule):
     rule_id = "R006"
     severity = "error"
     description = (
-        "np.zeros/np.empty without an explicit dtype= in the numerical core"
+        "np.zeros/np.empty without an explicit (non-None) dtype= in the "
+        "numerical core, including aliased allocators"
     )
     path_filters = ("core/", "fem/assembly.py")
 
+    @staticmethod
+    def _has_dtype(node: ast.Call) -> bool:
+        return len(node.args) >= 2 or any(
+            kw.arg == "dtype" for kw in node.keywords
+        )
+
+    @staticmethod
+    def _allocator_leaf(value: ast.AST) -> str | None:
+        """``np.zeros``/``np.empty`` when ``value`` is that bare attribute."""
+        dotted = _dotted(value)
+        if dotted is None:
+            return None
+        parts = dotted.split(".")
+        if len(parts) == 2 and parts[0] in ("np", "numpy") and parts[1] in (
+            "zeros",
+            "empty",
+        ):
+            return parts[1]
+        return None
+
+    @staticmethod
+    def _shallow_calls(stmt: ast.AST) -> Iterator[ast.Call]:
+        """Calls evaluated by this block statement itself."""
+        for expr in header_exprs(stmt):
+            for sub in ast.walk(expr):
+                if isinstance(sub, ast.Call):
+                    yield sub
+
     def check(self, ctx: FileContext) -> Iterator[Finding]:
+        # syntactic base case: direct np.zeros/np.empty without a dtype
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
                 continue
-            dotted = _dotted(node.func)
-            if dotted is None:
-                continue
-            parts = dotted.split(".")
-            if len(parts) != 2 or parts[0] not in ("np", "numpy"):
-                continue
-            if parts[1] not in ("zeros", "empty"):
-                continue
-            has_dtype = len(node.args) >= 2 or any(
-                kw.arg == "dtype" for kw in node.keywords
-            )
-            if not has_dtype:
+            leaf = self._allocator_leaf(node.func)
+            if leaf is not None and not self._has_dtype(node):
                 yield ctx.finding(
                     self,
                     node,
-                    f"np.{parts[1]}() without explicit dtype= in the "
+                    f"np.{leaf}() without explicit dtype= in the "
                     "numerical core; state the dtype (float or the "
                     "operator's complex dtype)",
                 )
+        yield from self._flow_findings(ctx)
+
+    def _flow_findings(self, ctx: FileContext) -> Iterator[Finding]:
+        """Reaching-definitions extensions: aliased allocators and dtype
+        variables that may be None at the allocation site."""
+        tree = ctx.tree
+        module_aliases: dict[str, str] = {}
+        for stmt in tree.body:
+            if (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+            ):
+                leaf = self._allocator_leaf(stmt.value)
+                if leaf is not None:
+                    module_aliases[stmt.targets[0].id] = leaf
+        for scope in (tree, *module_functions(tree)):
+            rd = ReachingDefinitions(build_cfg(scope))
+            rd.run()
+            for block in rd.cfg.blocks:
+                for stmt in block.stmts:
+                    for call in self._shallow_calls(stmt):
+                        yield from self._check_call(
+                            ctx, call, stmt, rd, module_aliases
+                        )
+
+    def _alias_leaf(
+        self,
+        call: ast.Call,
+        stmt: ast.AST,
+        rd: ReachingDefinitions,
+        module_aliases: dict[str, str],
+    ) -> str | None:
+        """Allocator behind a plain-name call, via its reaching defs."""
+        if not isinstance(call.func, ast.Name):
+            return None
+        defs = rd.defs_at(stmt, call.func.id)
+        if defs:
+            leaves = {
+                self._allocator_leaf(d.value)
+                if isinstance(d, ast.Assign)
+                else None
+                for d in defs
+            }
+            if len(leaves) == 1:
+                return leaves.pop()
+            return None
+        return module_aliases.get(call.func.id)
+
+    def _check_call(
+        self,
+        ctx: FileContext,
+        call: ast.Call,
+        stmt: ast.AST,
+        rd: ReachingDefinitions,
+        module_aliases: dict[str, str],
+    ) -> Iterator[Finding]:
+        alias_leaf = self._alias_leaf(call, stmt, rd, module_aliases)
+        if alias_leaf is not None and not self._has_dtype(call):
+            yield ctx.finding(
+                self,
+                call,
+                f"'{call.func.id}' aliases np.{alias_leaf} and is called "
+                "without an explicit dtype=; state the dtype at the "
+                "allocation site",
+            )
+        direct_leaf = self._allocator_leaf(call.func)
+        if direct_leaf is None and alias_leaf is None:
+            return
+        for kw in call.keywords:
+            if kw.arg != "dtype":
+                continue
+            if isinstance(kw.value, ast.Constant) and kw.value.value is None:
+                yield ctx.finding(
+                    self,
+                    call,
+                    "dtype=None is the implicit default in disguise; state "
+                    "the dtype explicitly",
+                )
+            elif isinstance(kw.value, ast.Name):
+                defs = rd.defs_at(stmt, kw.value.id)
+                if defs and any(
+                    isinstance(d, ast.Assign)
+                    and isinstance(d.value, ast.Constant)
+                    and d.value.value is None
+                    for d in defs
+                ):
+                    yield ctx.finding(
+                        self,
+                        call,
+                        f"dtype variable '{kw.value.id}' may be None here "
+                        "(a reaching definition assigns None); resolve the "
+                        "dtype before the allocation",
+                    )
 
 
 # ----------------------------------------------------------------------------
@@ -753,51 +861,171 @@ class BroadExceptionHandler(Rule):
             )
 
 
+def _data_root(expr: ast.AST) -> str | None:
+    """The underlying buffer name behind slices and dtype-preserving
+    wrappers (``X[:, si].astype`` and ``Xi.conj().T`` both root at X/Xi)."""
+    while True:
+        if isinstance(expr, ast.Subscript):
+            expr = expr.value
+        elif isinstance(expr, ast.Attribute) and expr.attr in (
+            "real", "imag", "T",
+        ):
+            expr = expr.value
+        elif (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Attribute)
+            and expr.func.attr in (
+                "conj", "conjugate", "copy", "reshape", "ravel", "transpose",
+            )
+        ):
+            expr = expr.func.value
+        else:
+            break
+    return expr.id if isinstance(expr, ast.Name) else None
+
+
+def _astypes_by_innermost_loop(
+    tree: ast.Module,
+) -> list[tuple[ast.Call, ast.For | ast.AsyncFor | ast.While | None]]:
+    """Each ``.astype`` call paired with its innermost enclosing loop
+    (None when not inside a loop body; nested functions reset the loop
+    context — they run in their own scope)."""
+    out: list[tuple[ast.Call, ast.AST | None]] = []
+
+    def collect(node: ast.AST, loop: ast.AST | None) -> None:
+        for sub in ast.walk(node):
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr == "astype"
+            ):
+                out.append((sub, loop))
+
+    def visit(stmts: list[ast.stmt], loop: ast.AST | None) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+                for expr in header_exprs(stmt):
+                    collect(expr, loop)
+                visit(stmt.body + stmt.orelse, stmt)
+            elif isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                visit(stmt.body, None)
+            elif isinstance(stmt, ast.If):
+                collect(stmt.test, loop)
+                visit(stmt.body + stmt.orelse, loop)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for expr in header_exprs(stmt):
+                    collect(expr, loop)
+                visit(stmt.body, loop)
+            elif isinstance(stmt, ast.Try):
+                visit(stmt.body + stmt.orelse + stmt.finalbody, loop)
+                for handler in stmt.handlers:
+                    visit(handler.body, loop)
+            elif isinstance(stmt, ast.Match):
+                collect(stmt.subject, loop)
+                for case in stmt.cases:
+                    visit(case.body, loop)
+            else:
+                collect(stmt, loop)
+
+    visit(tree.body, None)
+    return out
+
+
 # ----------------------------------------------------------------------------
 @register
 class AstypeInsideLoop(Rule):
-    """R012: ``.astype`` inside a loop in the numerical core.
+    """R012: per-iteration re-casts of loop-invariant data in repro/core.
 
     Re-casting the same columns once per block pair is exactly the pattern
     the batched subspace engine removed: with mixed precision, ``X``/``HX``
     are downcast to an FP32 mirror *once* per call
     (:func:`repro.precision.fp32_mirror`) and every block reads a slice.
-    An ``.astype`` inside a ``for``/``while`` body in ``repro/core`` is
-    either a reintroduction of the per-block cast (an O((nvec/bs)^2) hidden
-    cost) or a sanctioned reference implementation, which must say so with
-    a ``# reprolint: disable=R012`` pragma.
+    The rule is flow-aware: an ``.astype`` inside a loop is flagged only
+    when its operand's *data root* is invariant with respect to the
+    innermost enclosing loop — i.e. the same underlying buffer is re-cast
+    every iteration and the cast is hoistable.  Casting a value the loop
+    itself computes (``blk32.astype(X.dtype)`` where ``blk32`` comes from
+    a matmul in the body) re-pays nothing and is clean.  A one-step
+    definition chain is followed so re-slices of an invariant buffer
+    (``Xi = X[:, si]; Xi.astype(f32)``) are still recognized as hoistable.
+    Sanctioned reference implementations carry a
+    ``# reprolint: disable=R012`` pragma.
     """
 
     rule_id = "R012"
     severity = "error"
     description = (
-        "astype() inside a loop in repro/core; hoist to a single-cast "
-        "mirror (repro.precision.fp32_mirror) outside the loop"
+        "astype() of loop-invariant data inside a loop in repro/core; "
+        "hoist to a single-cast mirror (repro.precision.fp32_mirror) "
+        "outside the loop"
     )
     path_filters = ("core/",)
 
+    @staticmethod
+    def _bindings_of(name: str, stmts: list[ast.stmt]) -> list[ast.AST]:
+        """Statements in (compound-descended) ``stmts`` binding ``name``."""
+        found: list[ast.AST] = []
+
+        def visit(stmt: ast.AST) -> None:
+            for bound, node in shallow_defs(stmt):
+                if bound == name:
+                    found.append(node)
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                return
+            for attr in ("body", "orelse", "finalbody"):
+                for sub in getattr(stmt, attr, []):
+                    visit(sub)
+            for handler in getattr(stmt, "handlers", []):
+                visit(handler)
+            for case in getattr(stmt, "cases", []):
+                for sub in case.body:
+                    visit(sub)
+
+        for s in stmts:
+            visit(s)
+        return found
+
+    def _hoistable(self, root: str, loop: ast.AST) -> bool:
+        body = list(loop.body) + list(loop.orelse)
+        bound = assigned_names(body)
+        if isinstance(loop, (ast.For, ast.AsyncFor)):
+            bound |= set(target_names(loop.target))
+        if root not in bound:
+            return True  # operand data is invariant w.r.t. this loop
+        # one-step def chain: every binding of root inside the loop must
+        # re-slice an invariant buffer (Xi = X[:, si])
+        bindings = self._bindings_of(root, body)
+        if not bindings:
+            return False
+        for node in bindings:
+            if not isinstance(node, ast.Assign):
+                return False
+            src_root = _data_root(node.value)
+            if src_root is None or src_root in bound:
+                return False
+        return True
+
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         seen: set[tuple[int, int]] = set()
-        for loop in ast.walk(ctx.tree):
-            if not isinstance(loop, (ast.For, ast.AsyncFor, ast.While)):
+        for call, loop in _astypes_by_innermost_loop(ctx.tree):
+            if loop is None:
                 continue
-            for stmt in loop.body + loop.orelse:
-                for node in ast.walk(stmt):
-                    if not isinstance(node, ast.Call):
-                        continue
-                    if not isinstance(node.func, ast.Attribute):
-                        continue
-                    if node.func.attr != "astype":
-                        continue
-                    key = (node.lineno, node.col_offset)
-                    if key in seen:
-                        continue
-                    seen.add(key)
-                    yield ctx.finding(
-                        self,
-                        node,
-                        ".astype() inside a loop re-pays the cast per "
-                        "iteration; hoist it to a single fp32_mirror (or "
-                        "mark a sanctioned reference path with "
-                        "`# reprolint: disable=R012`)",
-                    )
+            key = (call.lineno, call.col_offset)
+            if key in seen:
+                continue
+            root = _data_root(call.func.value)
+            if root is None or not self._hoistable(root, loop):
+                continue
+            seen.add(key)
+            yield ctx.finding(
+                self,
+                call,
+                f".astype() re-casts loop-invariant '{root}' every "
+                "iteration; hoist it to a single fp32_mirror outside the "
+                "loop (or mark a sanctioned reference path with "
+                "`# reprolint: disable=R012`)",
+            )

@@ -1,0 +1,93 @@
+"""SARIF 2.1.0 output for reprolint findings.
+
+The Static Analysis Results Interchange Format lets CI systems (GitHub
+code scanning, Azure DevOps...) render findings as inline code
+annotations.  One run, one tool driver (``reprolint``), one result per
+finding; rule metadata travels in ``tool.driver.rules`` and results
+reference rules by ``ruleId``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from . import Finding, Rule
+
+__all__ = ["SARIF_VERSION", "SARIF_SCHEMA_URI", "sarif_document", "format_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: reprolint severity -> SARIF result level
+_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def _rule_descriptor(rule: "Rule") -> dict:
+    return {
+        "id": rule.rule_id,
+        "name": type(rule).__name__,
+        "shortDescription": {"text": rule.description},
+        "defaultConfiguration": {
+            "level": _LEVELS.get(rule.severity, "error")
+        },
+    }
+
+
+def _result(finding: "Finding") -> dict:
+    return {
+        "ruleId": finding.rule_id,
+        "level": _LEVELS.get(finding.severity, "error"),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": pathlib.PurePath(finding.path).as_posix()
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col,
+                    },
+                }
+            }
+        ],
+    }
+
+
+def sarif_document(
+    findings: Iterable["Finding"], rules: Iterable["Rule"]
+) -> dict:
+    """The SARIF log as a plain dict (one run)."""
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "informationUri": (
+                            "https://example.invalid/repro/tools/lint"
+                        ),
+                        "rules": [
+                            _rule_descriptor(r)
+                            for r in sorted(rules, key=lambda r: r.rule_id)
+                        ],
+                    }
+                },
+                "results": [_result(f) for f in findings],
+            }
+        ],
+    }
+
+
+def format_sarif(
+    findings: Iterable["Finding"], rules: Iterable["Rule"]
+) -> str:
+    return json.dumps(sarif_document(findings, rules), indent=2)

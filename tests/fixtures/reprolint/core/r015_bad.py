@@ -1,0 +1,22 @@
+"""R015 fixture: os.environ reads on the numerical-core hot path."""
+
+import os
+
+
+def scf_loop(channels):
+    total = 0.0
+    for ch in channels:
+        nt = int(os.environ.get("REPRO_NUM_THREADS", "1"))  # expect: R015
+        total += solve(ch, nt)
+    return total
+
+
+def tuning_once():
+    # not inside or reachable from a loop: reading here is fine
+    return os.getenv("REPRO_TUNE", "")
+
+
+def solve(ch, nt):
+    # called from scf_loop's loop body, so this read is hot too
+    flag = os.environ["REPRO_DEBUG"]  # expect: R015
+    return float(len(flag)) + nt + ch

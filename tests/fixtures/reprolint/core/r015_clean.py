@@ -1,0 +1,14 @@
+"""R015 fixture: environment read once at construction time (clean)."""
+
+import os
+
+
+class Solver:
+    def __init__(self):
+        self.num_threads = int(os.environ.get("REPRO_NUM_THREADS", "1"))
+
+    def run(self, channels):
+        total = 0.0
+        for ch in channels:
+            total += ch * self.num_threads
+        return total

@@ -1,11 +1,14 @@
-"""R001 fixture: precision-dropping astype downcasts (violations)."""
+"""R001 fixture: reduced-precision values escaping their scope."""
 
 import numpy as np
 
+SCRATCH = np.empty((8,), dtype=np.float32)  # expect: R001
+
 
 def gram_offdiag(xi, xj):
-    blk = xi.astype(np.float32).T @ xj.astype(np.float32)  # expect: R001 R001
-    return blk.astype(xi.dtype)
+    a = xi.astype(np.float32)  # expect: R001
+    b = xj.astype(np.float32)  # expect: R001
+    return a.T @ b
 
 
 def halo_pack(buf):
@@ -17,9 +20,23 @@ def string_spelling(x):
     return x.astype("complex64")  # expect: R001
 
 
-def _f32(dtype):
-    return np.dtype("float32")  # factory itself is fine
+def via_dtype_var(x):
+    pdt = np.dtype("float32")
+    y = x.astype(pdt)  # expect: R001
+    return y
 
 
-def via_helper(x):
-    return x.astype(_f32(x.dtype))  # expect: R001
+def cache_scratch(obj, x):
+    tmp = np.zeros((4, 4), dtype="float32")  # expect: R001
+    tmp[0, 0] = float(x)
+    obj.scratch = tmp
+
+
+def leaks_helper(x):
+    m = fp32_mirror_of(x)  # expect: R001
+    return m
+
+
+def round_trip_is_confined(x):
+    # flow-aware: the downcast is upcast back before leaving — no finding
+    return x.astype(np.float32).astype(x.dtype)

@@ -1,4 +1,4 @@
-"""R001 fixture: acceptable dtype handling (no violations)."""
+"""R001 fixture: confined or whitelisted reduced precision (no violations)."""
 
 import numpy as np
 
@@ -7,10 +7,22 @@ def upcast(x):
     return x.astype(np.float64)
 
 
-def to_complex(x):
-    return x.astype(complex)
+def round_trip(x):
+    y = x.astype(np.float32)
+    return y.astype(x.dtype)
+
+
+def confined_store(x, out):
+    # store into the existing wider buffer upcasts on assignment
+    x32 = x.astype(np.float32)
+    out[...] = x32
+    return out
+
+
+def fp32_mirror_local(x):
+    # whitelisted mixed-precision kernel (name announces it)
+    return x.astype(np.float32)
 
 
 def annotated_downcast(x):
-    # an intentional, documented mixed-precision block
-    return x.astype(np.float32).astype(x.dtype)  # reprolint: disable=R001
+    return x.astype(np.float32)  # reprolint: disable=R001

@@ -1,0 +1,18 @@
+"""R013 fixture: unlocked mutation of shared state from worker threads."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+
+class Runner:
+    def __init__(self, ledger, sink):
+        self.ledger = ledger
+        self.results_sink = sink
+
+    def worker(self, item):
+        self.ledger.totals[item] = 1.0  # expect: R013
+        self.results_sink.append(item)  # expect: R013
+
+    def launch(self, items):
+        with ThreadPoolExecutor(2) as pool:
+            for item in items:
+                pool.submit(self.worker, item)

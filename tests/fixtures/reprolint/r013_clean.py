@@ -1,0 +1,21 @@
+"""R013 fixture: shared-state mutation under the owning lock (clean)."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+
+class Runner:
+    def __init__(self, ledger, sink):
+        self.ledger = ledger
+        self.results_sink = sink
+        self._lock = threading.Lock()
+
+    def worker(self, item):
+        with self._lock:
+            self.ledger.totals[item] = 1.0
+            self.results_sink.append(item)
+
+    def launch(self, items):
+        with ThreadPoolExecutor(2) as pool:
+            for item in items:
+                pool.submit(self.worker, item)

@@ -1,0 +1,19 @@
+"""R014 fixture: pooled workspace buffers escaping their scope."""
+
+import numpy as np
+
+
+def leak_return(ws, n):
+    buf = ws.get("tmp", (n,), np.float64)
+    return buf  # expect: R014
+
+
+def leak_attr(obj, workspace, n):
+    scratch = workspace.zeros("acc", (n, n))
+    obj.cache = scratch  # expect: R014
+
+
+def leak_out_alias(ws, x):
+    y = ws.get("y", x.shape, x.dtype)
+    z = np.multiply(x, 2.0, out=y)
+    return z  # expect: R014

@@ -1,0 +1,26 @@
+"""R014 fixture: pooled buffers confined, copied or documented (clean)."""
+
+import numpy as np
+
+
+def confined(ws, x):
+    tmp = ws.get("tmp", x.shape, x.dtype)
+    np.multiply(x, 2.0, out=tmp)
+    return float(tmp.sum())
+
+
+def copies_out(ws, x):
+    tmp = ws.get("tmp", x.shape, x.dtype)
+    np.multiply(x, 2.0, out=tmp)
+    return tmp.copy()
+
+
+def documented_view(ws, x):
+    """Return a pooled workspace buffer.
+
+    The result is workspace-owned — valid until the next call on this
+    thread; callers consume it immediately.
+    """
+    tmp = ws.get("tmp", x.shape, x.dtype)
+    np.copyto(tmp, x)
+    return tmp

@@ -1,0 +1,20 @@
+"""R016 fixture: module-global mutation from thread entries."""
+
+import threading
+
+_COUNT = 0
+_TOTALS = {}
+
+
+def worker(item):
+    global _COUNT
+    _COUNT += 1  # expect: R016
+    _TOTALS[item] = _COUNT  # expect: R016
+
+
+def launch(items):
+    threads = [threading.Thread(target=worker, args=(i,)) for i in items]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()

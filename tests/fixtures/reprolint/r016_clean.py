@@ -1,0 +1,24 @@
+"""R016 fixture: worker threads use per-call or locked state (clean)."""
+
+import threading
+
+_TOTALS = {}
+_LOCK = threading.Lock()
+
+
+def worker(item, results):
+    results[item] = item * 2
+    with _LOCK:
+        _TOTALS[item] = item
+
+
+def launch(items):
+    results = {}
+    threads = [
+        threading.Thread(target=worker, args=(i, results)) for i in items
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return results

@@ -1,0 +1,409 @@
+"""Unit tests for reprolint's CFG construction and dataflow analyses."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.tools.lint.cfg import build_cfg
+from repro.tools.lint.dataflow import (
+    DtypeFlow,
+    ReachingDefinitions,
+    analyze_module_dtypes,
+    lowprec_dtype_names,
+)
+
+
+def _parse(src: str) -> ast.Module:
+    return ast.parse(textwrap.dedent(src))
+
+
+def _fn(src: str) -> ast.FunctionDef:
+    return _parse(src).body[0]
+
+
+def _find_assign(tree: ast.AST, target: str) -> ast.Assign:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            for t in node.targets:
+                if isinstance(t, ast.Name) and t.id == target:
+                    return node
+    raise AssertionError(f"no assignment to {target}")
+
+
+# ---------------------------------------------------------------------------
+# CFG structure
+# ---------------------------------------------------------------------------
+def test_if_else_produces_diamond():
+    fn = _fn(
+        """
+        def f(c):
+            x = 1
+            if c:
+                x = 2
+            else:
+                x = 3
+            return x
+        """
+    )
+    cfg = build_cfg(fn)
+    header = next(
+        b for b in cfg.blocks if any(isinstance(s, ast.If) for s in b.stmts)
+    )
+    assert len(header.succs) == 2  # then and else arms
+    join = next(
+        b
+        for b in cfg.blocks
+        if any(isinstance(s, ast.Return) for s in b.stmts)
+    )
+    assert len(join.preds) == 2  # both arms flow into the join
+
+
+def test_loop_has_back_edge_and_exit():
+    fn = _fn(
+        """
+        def f(xs):
+            t = 0
+            while t < 10:
+                t = t + 1
+            return t
+        """
+    )
+    cfg = build_cfg(fn)
+    header = next(
+        b
+        for b in cfg.blocks
+        if any(isinstance(s, ast.While) for s in b.stmts)
+    )
+    # loop body flows back to the header; the header also exits the loop
+    assert header in [s for p in header.preds for s in [p]] or any(
+        header in p.succs for p in cfg.blocks
+    )
+    assert any(p is not cfg.entry and header in p.succs for p in cfg.blocks)
+    assert len(header.succs) == 2  # body + after
+
+
+def test_code_after_return_is_predecessor_less():
+    fn = _fn(
+        """
+        def f():
+            return 1
+            x = 2
+        """
+    )
+    cfg = build_cfg(fn)
+    dead = next(
+        b
+        for b in cfg.blocks
+        if any(isinstance(s, ast.Assign) for s in b.stmts)
+    )
+    assert dead.preds == []
+
+
+def test_try_handler_entered_from_body_blocks():
+    fn = _fn(
+        """
+        def f():
+            x = 1
+            try:
+                x = 2
+            except ValueError:
+                x = 3
+            return x
+        """
+    )
+    cfg = build_cfg(fn)
+    handler = next(
+        b
+        for b in cfg.blocks
+        if any(isinstance(s, ast.ExceptHandler) for s in b.stmts)
+    )
+    # reachable both from before the try and from the body
+    assert len(handler.preds) >= 2
+
+
+# ---------------------------------------------------------------------------
+# Reaching definitions
+# ---------------------------------------------------------------------------
+def test_branch_join_merges_definitions():
+    fn = _fn(
+        """
+        def f(c):
+            x = 1
+            if c:
+                x = 2
+            y = x
+            return y
+        """
+    )
+    rd = ReachingDefinitions(build_cfg(fn)).run()
+    use = _find_assign(fn, "y")
+    assert len(rd.defs_at(use, "x")) == 2  # x = 1 and x = 2 both reach
+
+
+def test_straightline_strong_update():
+    fn = _fn(
+        """
+        def f():
+            x = 1
+            x = 2
+            y = x
+            return y
+        """
+    )
+    rd = ReachingDefinitions(build_cfg(fn)).run()
+    use = _find_assign(fn, "y")
+    defs = rd.defs_at(use, "x")
+    assert len(defs) == 1  # the second assignment kills the first
+    assert next(iter(defs)).value.value == 2
+
+
+def test_loop_carried_definition_reaches_body():
+    fn = _fn(
+        """
+        def f(xs):
+            t = 0
+            for x in xs:
+                u = t
+                t = x
+            return t
+        """
+    )
+    rd = ReachingDefinitions(build_cfg(fn)).run()
+    use = _find_assign(fn, "u")
+    assert len(rd.defs_at(use, "t")) == 2  # initial + loop-carried
+
+
+def test_try_except_join_keeps_all_definitions():
+    fn = _fn(
+        """
+        def f(risky):
+            x = 1
+            try:
+                x = risky()
+                x = 2
+            except ValueError:
+                pass
+            y = x
+            return y
+        """
+    )
+    rd = ReachingDefinitions(build_cfg(fn)).run()
+    use = _find_assign(fn, "y")
+    # exceptions are modeled at block boundaries: the handler joins the
+    # pre-try state (x = 1) with the body's final state (x = 2), so both
+    # survive to the join (the mid-block x = risky() does not)
+    defs = rd.defs_at(use, "x")
+    assert len(defs) == 2
+    assert {d.value.value for d in defs if isinstance(d.value, ast.Constant)} == {1, 2}
+
+
+# ---------------------------------------------------------------------------
+# Dtype abstract interpretation
+# ---------------------------------------------------------------------------
+def _escapes(src: str):
+    return analyze_module_dtypes(_parse(src)).escapes
+
+
+def test_confined_round_trip_has_no_escape():
+    assert (
+        _escapes(
+            """
+            import numpy as np
+
+            def f(x):
+                y = x.astype(np.float32)
+                return y.astype(x.dtype)
+            """
+        )
+        == []
+    )
+
+
+def test_return_escape_detected_through_alias():
+    escapes = _escapes(
+        """
+        import numpy as np
+
+        def f(x):
+            y = x.astype(np.float32)
+            z = y[1:]
+            return z.T
+        """
+    )
+    assert len(escapes) == 1
+    assert escapes[0].kind == "return"
+    assert escapes[0].scope == "f"
+
+
+def test_branch_join_propagates_low_fact():
+    escapes = _escapes(
+        """
+        import numpy as np
+
+        def f(x, c):
+            y = x
+            if c:
+                y = x.astype(np.float32)
+            return y
+        """
+    )
+    assert [e.kind for e in escapes] == ["return"]
+
+
+def test_loop_carried_fact_escapes():
+    escapes = _escapes(
+        """
+        import numpy as np
+
+        def f(xs):
+            acc = None
+            for x in xs:
+                acc = x.astype(np.float32)
+            return acc
+        """
+    )
+    assert [e.kind for e in escapes] == ["return"]
+
+
+def test_try_except_dtype_join():
+    escapes = _escapes(
+        """
+        import numpy as np
+
+        def f(x):
+            y = x
+            try:
+                y = x.astype(np.float32)
+            except ValueError:
+                y = x
+            return y
+        """
+    )
+    assert [e.kind for e in escapes] == ["return"]
+
+
+def test_subscript_store_upcasts_and_confines():
+    assert (
+        _escapes(
+            """
+            import numpy as np
+
+            def f(x, out):
+                y = x.astype(np.float32)
+                out[:] = y
+                return out
+            """
+        )
+        == []
+    )
+
+
+def test_yield_escape_and_attribute_store():
+    escapes = _escapes(
+        """
+        import numpy as np
+
+        def gen(xs):
+            for x in xs:
+                yield x.astype(np.float32)
+
+        def cache(obj, x):
+            obj.m32 = x.astype(np.float32)
+        """
+    )
+    assert sorted(e.kind for e in escapes) == ["attribute-store", "yield"]
+
+
+def test_whitelisted_function_is_skipped():
+    assert (
+        _escapes(
+            """
+            import numpy as np
+
+            def fp32_mirror_of(x):
+                return x.astype(np.float32)
+            """
+        )
+        == []
+    )
+
+
+def test_local_call_summary_propagates():
+    report = analyze_module_dtypes(
+        _parse(
+            """
+            import numpy as np
+
+            def make32(x):
+                return x.astype(np.float32)
+
+            def use(x):
+                z = make32(x)
+                return z
+            """
+        )
+    )
+    assert report.summaries["make32"] is True
+    kinds = sorted((e.scope, e.kind) for e in report.escapes)
+    assert ("make32", "return") in kinds
+    assert ("use", "return") in kinds
+
+
+def test_module_global_escape():
+    escapes = _escapes(
+        """
+        import numpy as np
+
+        SCRATCH = np.zeros((4,), dtype=np.float32)
+        """
+    )
+    assert [e.kind for e in escapes] == ["module-global"]
+    assert escapes[0].scope == "<module>"
+
+
+def test_lowprec_dtype_name_resolution():
+    names = lowprec_dtype_names(
+        _parse(
+            """
+            import numpy as np
+
+            f32 = np.float32
+            pdt = np.dtype("float32")
+            wide = np.float64
+            """
+        )
+    )
+    assert names == {"f32", "pdt"}
+
+
+def test_dtype_flow_augassign_keeps_target_dtype():
+    # acc += low is an in-place upcast into acc's storage — no escape
+    assert (
+        _escapes(
+            """
+            import numpy as np
+
+            def f(x, acc):
+                y = x.astype(np.float32)
+                acc += y
+                return acc
+            """
+        )
+        == []
+    )
+
+
+def test_dtypeflow_returns_low_flag():
+    tree = _parse(
+        """
+        import numpy as np
+
+        def f(x):
+            return x.astype(np.float32)
+        """
+    )
+    fn = tree.body[1]
+    flow = DtypeFlow(build_cfg(fn), dtype_names=set(), scope="f")
+    flow.run()
+    assert flow.returns_low is True
