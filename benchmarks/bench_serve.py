@@ -1,0 +1,180 @@
+"""Serve runtime under load: throughput, latency and cache effectiveness.
+
+Drives :func:`repro.serve.run_jobs` with the deterministic probe stream
+from :mod:`repro.serve.loadgen` in two waves against one shared
+content-addressed cache:
+
+* **cold wave** — ``n_jobs`` requests drawn from ``distinct`` unique
+  specs against an empty cache.  Duplicates of a spec still in flight
+  coalesce onto its primary job; duplicates arriving after it finished
+  hit the cache.  Either way the solver runs exactly ``distinct`` times.
+* **warm wave** — the same stream resubmitted: every request is a cache
+  hit, served without invoking a single runner.
+
+The headline metrics are jobs/second, p50/p99 submission-to-completion
+latency (per wave) and the cache hit rate of the warm wave (1.0 by
+construction — asserted, not assumed).  A third section serves repeated
+real SCF jobs with time slicing on, reporting preemption counts and the
+bit-identical energy across cache hit and fresh solve.
+
+Results land in ``results/BENCH_serve.json`` via the PR 2 harness::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+
+The 10k-request stress variant runs from the tier-2 suite
+(``pytest -m slow tests/test_serve.py``).
+"""
+
+import pathlib
+import tempfile
+
+from repro.obs import Stopwatch
+from repro.serve import (
+    ResultCache,
+    SchedulerPolicy,
+    probe_load,
+    run_jobs,
+    scf_load,
+)
+
+from _harness import write_result
+
+#: reference configuration: 1k queued requests over 64 unique specs
+REF = {"n_jobs": 1000, "distinct": 64, "workers": 4, "ranks": 8}
+
+
+def _wave_metrics(report) -> dict:
+    stats = report.stats
+    wall = report.wall_seconds
+    return {
+        "jobs": len(report.jobs),
+        "wall_seconds": wall,
+        "jobs_per_second": len(report.jobs) / wall if wall > 0 else 0.0,
+        "latency_p50_s": stats.latency_percentile(0.50),
+        "latency_p99_s": stats.latency_percentile(0.99),
+        "completed": stats.completed,
+        "failed": stats.failed,
+        "cache_hits": stats.cache_hits,
+        "coalesced": stats.coalesced,
+        "slices": stats.slices,
+        "max_queue_depth": stats.max_queue_depth,
+    }
+
+
+def run_probe_bench(
+    n_jobs: int, distinct: int, workers: int, ranks: int, workdir: str
+) -> dict:
+    """Cold + warm probe waves against one shared result cache."""
+    root = pathlib.Path(workdir)
+    cache = ResultCache(root / "cache")
+    policy = SchedulerPolicy(total_ranks=ranks)
+    requests = probe_load(n_jobs, distinct=distinct, seed=7)
+
+    cold = run_jobs(
+        requests, workdir=root / "cold", policy=policy, workers=workers,
+        cache=cache,
+    )
+    warm = run_jobs(
+        requests, workdir=root / "warm", policy=policy, workers=workers,
+        cache=cache,
+    )
+    if any(j.result is None for j in cold.jobs + warm.jobs):
+        raise AssertionError("a probe job finished without a result")
+    if warm.stats.cache_hits != n_jobs:
+        raise AssertionError(
+            f"warm wave expected {n_jobs} cache hits, "
+            f"got {warm.stats.cache_hits}"
+        )
+    # the solver ran exactly once per unique spec, across both waves
+    if cache.stats.puts != distinct:
+        raise AssertionError(
+            f"expected {distinct} solver executions, got {cache.stats.puts}"
+        )
+    return {
+        "cold": _wave_metrics(cold),
+        "warm": _wave_metrics(warm),
+        "warm_cache_hit_rate": warm.stats.cache_hits / n_jobs,
+        "combined_cache_hit_rate": cache.stats.hit_rate,
+        "solver_runs": cache.stats.puts,
+    }
+
+
+def run_scf_bench(workers: int, ranks: int, workdir: str) -> dict:
+    """Repeated sliced SCF jobs: preemption plus cache reuse on physics."""
+    root = pathlib.Path(workdir)
+    cache = ResultCache(root / "scf-cache")
+    policy = SchedulerPolicy(total_ranks=ranks, slice_iterations=2)
+    requests = scf_load(["H2", "LiH"], repeats=1, degree=2, cells=3)
+
+    fresh = run_jobs(
+        requests, workdir=root / "scf-fresh", policy=policy, workers=workers,
+        cache=cache,
+    )
+    cached = run_jobs(
+        requests, workdir=root / "scf-warm", policy=policy, workers=workers,
+        cache=cache,
+    )
+    energies = [j.result["energy"] for j in fresh.jobs]
+    replayed = [j.result["energy"] for j in cached.jobs]
+    if energies != replayed:
+        raise AssertionError(
+            f"cached SCF energies differ: {energies} vs {replayed}"
+        )
+    return {
+        "molecules": ["H2", "LiH"],
+        "slice_iterations": 2,
+        "fresh_wall_seconds": fresh.wall_seconds,
+        "cached_wall_seconds": cached.wall_seconds,
+        "cache_speedup": fresh.wall_seconds / max(cached.wall_seconds, 1e-9),
+        "preemptions": fresh.stats.preemptions,
+        "energies": energies,
+        "cached_bit_identical": energies == replayed,
+    }
+
+
+def main(params: dict | None = None) -> dict:
+    cfg = dict(REF if params is None else params)
+    watch = Stopwatch()
+    with tempfile.TemporaryDirectory(prefix="bench-serve-") as workdir:
+        probe = run_probe_bench(**cfg, workdir=workdir)
+        scf = run_scf_bench(
+            workers=cfg["workers"], ranks=cfg["ranks"], workdir=workdir
+        )
+    record = write_result(
+        "serve",
+        params=cfg,
+        wall_seconds=watch.elapsed(),
+        metrics={
+            "probe": probe,
+            "scf": scf,
+            "jobs_per_second_cold": probe["cold"]["jobs_per_second"],
+            "jobs_per_second_warm": probe["warm"]["jobs_per_second"],
+            "latency_p50_s": probe["cold"]["latency_p50_s"],
+            "latency_p99_s": probe["cold"]["latency_p99_s"],
+            "cache_hit_rate": probe["warm_cache_hit_rate"],
+        },
+    )
+    for wave in ("cold", "warm"):
+        w = probe[wave]
+        print(
+            f"{wave:<5} {w['jobs']} jobs in {w['wall_seconds']:.3f} s "
+            f"({w['jobs_per_second']:.0f} jobs/s)  "
+            f"p50 {1e3 * w['latency_p50_s']:.2f} ms  "
+            f"p99 {1e3 * w['latency_p99_s']:.2f} ms  "
+            f"hits {w['cache_hits']}  coalesced {w['coalesced']}"
+        )
+    print(
+        f"solver ran {probe['solver_runs']}x for "
+        f"{2 * cfg['n_jobs']} requests; warm hit rate "
+        f"{probe['warm_cache_hit_rate']:.1%}"
+    )
+    print(
+        f"scf: {scf['preemptions']} preemptions, cached replay "
+        f"{scf['cache_speedup']:.0f}x faster, bit-identical="
+        f"{scf['cached_bit_identical']}"
+    )
+    return record
+
+
+if __name__ == "__main__":
+    main()

@@ -21,6 +21,10 @@ Commands
     (load it in Perfetto / ``chrome://tracing``).
 ``systems``
     Build and tabulate the paper's benchmark systems.
+``serve``
+    Run a batch of jobs through the repro.serve runtime — priority
+    queue, preemptive scheduler, content-addressed result cache — and
+    print throughput/latency/cache statistics.
 ``lint [PATH ...]``
     Run the reprolint numerical-safety static analyzer (defaults to
     ``src/``).  Flags are forwarded to ``repro.tools.lint``.
@@ -31,7 +35,20 @@ from __future__ import annotations
 import argparse
 import sys
 
+#: registered subcommands: name -> (handler, one-line help).  ``info``
+#: enumerates this table, so a new subcommand shows up there for free.
+COMMANDS: dict[str, tuple] = {}
 
+
+def _command(name: str, help_line: str):
+    def deco(fn):
+        COMMANDS[name] = (fn, help_line)
+        return fn
+
+    return deco
+
+
+@_command("info", "package, substrate and machine-model summary")
 def _cmd_info(_args) -> int:
     import repro
     from repro.hpc.machine import MACHINES
@@ -42,6 +59,10 @@ def _cmd_info(_args) -> int:
     print(f"  molecules: {', '.join(sorted(MOLECULE_LIBRARY))}")
     print(f"  workloads: {', '.join(sorted(PAPER_WORKLOADS))}")
     print(f"  machines:  {', '.join(sorted(MACHINES))}")
+    print("  commands:")
+    width = max(len(n) for n in COMMANDS)
+    for name in sorted(COMMANDS):
+        print(f"    {name:<{width}}  {COMMANDS[name][1]}")
     return 0
 
 
@@ -95,6 +116,7 @@ def _print_profile(agg) -> None:
         print(f"  {label:<10} {sec:9.4f} s  {100.0 * sec / grand:5.1f} %")
 
 
+@_command("scf", "ground-state SCF of a library molecule")
 def _cmd_scf(args) -> int:
     from repro.core import homo_lumo_gap
 
@@ -117,6 +139,7 @@ def _cmd_scf(args) -> int:
     return 0 if res.converged else 1
 
 
+@_command("resume", "continue an scf --checkpoint run bit-for-bit")
 def _cmd_resume(args) -> int:
     """Continue an interrupted ``scf --checkpoint`` run bit-for-bit."""
     from repro.core.io import load_scf_state
@@ -141,6 +164,7 @@ def _cmd_resume(args) -> int:
     return _cmd_scf(args)
 
 
+@_command("trace", "SCF under the reproscope tracer (Chrome trace)")
 def _cmd_trace(args) -> int:
     from repro.obs import ChromeTraceSink, InMemoryAggregator, get_tracer
 
@@ -164,6 +188,7 @@ def _cmd_trace(args) -> int:
     return 0 if res.converged else 1
 
 
+@_command("perfmodel", "modeled Table-3 breakdown for a paper workload")
 def _cmd_perfmodel(args) -> int:
     from repro.hpc.machine import FRONTIER
     from repro.hpc.perfmodel import ModelOptions
@@ -204,6 +229,7 @@ def _cmd_perfmodel(args) -> int:
     return 0
 
 
+@_command("systems", "build and tabulate the paper benchmark systems")
 def _cmd_systems(_args) -> int:
     from repro.materials.systems import SYSTEM_BUILDERS, build_system
 
@@ -213,6 +239,82 @@ def _cmd_systems(_args) -> int:
               f"{s.electrons_per_kpoint:7d} e-/k x {s.n_kpoints} k  "
               f"= {s.supercell_electrons:7d} e-")
     return 0
+
+
+@_command("serve", "batch jobs through the simulation service runtime")
+def _cmd_serve(args) -> int:
+    """Serve a request stream and print throughput / latency / cache stats."""
+    import json
+
+    from repro.serve import (
+        SchedulerPolicy,
+        probe_load,
+        run_jobs,
+        scf_load,
+    )
+
+    if args.molecules:
+        requests = scf_load(
+            [m.strip() for m in args.molecules.split(",") if m.strip()],
+            repeats=args.repeats,
+            degree=args.degree,
+            cells=args.cells,
+            max_scf=args.max_scf,
+        )
+    else:
+        requests = probe_load(
+            args.jobs, distinct=args.distinct, seed=args.seed
+        )
+    policy = SchedulerPolicy(
+        total_ranks=args.ranks, slice_iterations=args.slice
+    )
+    report = run_jobs(
+        requests, workdir=args.workdir, policy=policy, workers=args.workers
+    )
+    stats = report.stats
+    summary = {
+        "jobs": len(report.jobs),
+        "wall_seconds": report.wall_seconds,
+        "jobs_per_second": (
+            len(report.jobs) / report.wall_seconds
+            if report.wall_seconds > 0
+            else 0.0
+        ),
+        "latency_p50_s": stats.latency_percentile(0.50),
+        "latency_p99_s": stats.latency_percentile(0.99),
+        "cache_hit_rate": report.cache_stats.hit_rate,
+        "coalesced": stats.coalesced,
+        "preemptions": stats.preemptions,
+        "failed": stats.failed,
+        "max_queue_depth": stats.max_queue_depth,
+    }
+    if args.json:
+        print(json.dumps(summary, indent=2))
+        return 0 if stats.failed == 0 else 1
+    print(
+        f"served {summary['jobs']} jobs in {summary['wall_seconds']:.3f} s "
+        f"({summary['jobs_per_second']:.1f} jobs/s) with {args.workers} "
+        f"workers on {args.ranks} ranks"
+    )
+    print(
+        f"  latency p50 {1e3 * summary['latency_p50_s']:.2f} ms  "
+        f"p99 {1e3 * summary['latency_p99_s']:.2f} ms"
+    )
+    print(
+        f"  cache hit rate {summary['cache_hit_rate']:.1%}  "
+        f"coalesced {stats.coalesced}  preemptions {stats.preemptions}  "
+        f"failed {stats.failed}"
+    )
+    return 0 if stats.failed == 0 else 1
+
+
+@_command("lint", "run the reprolint numerical-safety static analyzer")
+def _cmd_lint(_args) -> int:
+    # normally handled by the pass-through in main() (the linter owns its
+    # own flags); this path serves a bare `lint` routed through argparse
+    from repro.tools.lint import main as lint_main
+
+    return lint_main(["src"])
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -271,16 +373,48 @@ def main(argv: list[str] | None = None) -> int:
         help="print the reproscope kernel breakdown after the run",
     )
     sub.add_parser("systems")
+    p = sub.add_parser("serve", help="batch jobs through the serve runtime")
+    p.add_argument(
+        "--jobs", type=int, default=100,
+        help="number of probe requests to generate (default: 100)",
+    )
+    p.add_argument(
+        "--distinct", type=int, default=16,
+        help="unique specs in the probe stream (default: 16)",
+    )
+    p.add_argument(
+        "--molecules", default=None, metavar="A,B,...",
+        help="serve SCF jobs for these library molecules instead of probes",
+    )
+    p.add_argument(
+        "--repeats", type=int, default=2,
+        help="submissions per molecule with --molecules (default: 2)",
+    )
+    p.add_argument("--degree", type=int, default=2)
+    p.add_argument("--cells", type=int, default=3)
+    p.add_argument("--max-scf", type=int, default=40)
+    p.add_argument(
+        "--workers", type=int, default=4, help="worker threads (default: 4)"
+    )
+    p.add_argument(
+        "--ranks", type=int, default=8,
+        help="virtual-cluster rank budget (default: 8)",
+    )
+    p.add_argument(
+        "--slice", type=int, default=None, metavar="N",
+        help="preempt sliceable jobs every N driver iterations",
+    )
+    p.add_argument(
+        "--workdir", default=None,
+        help="cache + checkpoint directory (default: temporary)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
     sub.add_parser("lint", help="run the reprolint static analyzer")
     args = ap.parse_args(argv)
-    return {
-        "info": _cmd_info,
-        "scf": _cmd_scf,
-        "trace": _cmd_trace,
-        "perfmodel": _cmd_perfmodel,
-        "resume": _cmd_resume,
-        "systems": _cmd_systems,
-    }[args.command](args)
+    return COMMANDS[args.command][0](args)
 
 
 if __name__ == "__main__":

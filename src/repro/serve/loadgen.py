@@ -1,0 +1,86 @@
+"""Deterministic request-stream generation for the serve CLI and bench.
+
+The load generator turns a handful of knobs into a reproducible stream
+of :class:`~repro.serve.server.ServeRequest` records.  ``distinct``
+controls how many unique specs the stream draws from, so the expected
+cache hit rate of a cold run is ``1 - distinct / n`` by construction —
+the benchmark asserts its measured rate against exactly that.
+
+Determinism matters here the same way it does in the solvers: the
+stream is a pure function of ``seed``, so two benchmark runs submit
+byte-identical request sequences (no wall-clock, no global RNG).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from .jobs import ProbeJobSpec, SCFJobSpec
+from .server import ServeRequest
+
+__all__ = ["probe_load", "scf_load"]
+
+#: priority levels a generated stream cycles through (lower runs first)
+_PRIORITY_LEVELS = (0, 1, 2)
+
+
+def probe_load(
+    n: int,
+    *,
+    distinct: int = 16,
+    size: int = 24,
+    iters: int = 3,
+    seed: int = 0,
+) -> list[ServeRequest]:
+    """``n`` probe requests drawn from ``distinct`` unique specs.
+
+    Probe jobs (seeded ``tanh(A @ A / n)`` sweeps) exercise the whole
+    queue/scheduler/cache pipeline at high request rates without solver
+    cost — this is the 1k/10k-request stream behind ``BENCH_serve``.
+    """
+    if n < 1 or distinct < 1:
+        raise ValueError("probe_load needs n >= 1 and distinct >= 1")
+    rng = random.Random(seed)
+    distinct = min(distinct, n)
+    specs = [
+        ProbeJobSpec(seed=seed * 10_000 + i, size=size, iters=iters)
+        for i in range(distinct)
+    ]
+    requests: list[ServeRequest] = []
+    for i in range(n):
+        # first pass covers every unique spec; the tail re-draws from them
+        spec = specs[i] if i < distinct else specs[rng.randrange(distinct)]
+        requests.append(
+            ServeRequest(
+                spec=spec, priority=_PRIORITY_LEVELS[i % len(_PRIORITY_LEVELS)]
+            )
+        )
+    return requests
+
+
+def scf_load(
+    molecules: Sequence[str],
+    *,
+    repeats: int = 2,
+    degree: int = 2,
+    cells: int = 3,
+    max_scf: int = 40,
+) -> list[ServeRequest]:
+    """An SCF request stream: each molecule submitted ``repeats`` times.
+
+    Every repeat after the first is a guaranteed cache hit (same spec,
+    same job key), which is how the CLI demonstrates repeated physics
+    being served without a solver invocation.
+    """
+    if not molecules or repeats < 1:
+        raise ValueError("scf_load needs molecules and repeats >= 1")
+    return [
+        ServeRequest(
+            spec=SCFJobSpec(
+                molecule=m, degree=degree, cells=cells, max_scf=max_scf
+            )
+        )
+        for _ in range(repeats)
+        for m in molecules
+    ]

@@ -15,8 +15,9 @@ R014      pooled-buffer escape: a workspace-acquired buffer stored on
           ``self`` or returned past its scope without a documented
           ownership contract
 R015      ``os.environ`` reads inside hot loops of the numerical core
-          (directly in a loop body, or in functions reachable from
-          one via the module-local call graph)
+          or the serve runtime (directly in a loop body, or in
+          functions reachable from one via the module-local call
+          graph)
 R016      module-global mutation in thread-entry-reachable functions
 ========  ==========================================================
 
@@ -396,23 +397,24 @@ class PooledBufferEscape(Rule):
 # ----------------------------------------------------------------------------
 @register
 class EnvReadInHotLoop(Rule):
-    """R015: ``os.environ`` reads on the hot path of the numerical core.
+    """R015: ``os.environ`` reads on the hot path of core or serve.
 
     Reading configuration from the environment inside the SCF/filter
-    loops re-pays dict lookups and string parsing thousands of times and
-    makes behavior racy against tests that mutate ``os.environ``.  Read
-    once at construction time and cache.  A read is *hot* when it sits
-    syntactically inside a loop, or inside a function reachable from a
-    loop body via the module-local call graph.
+    loops — or the serve runtime's dispatch/slice loops, which run once
+    per queued job — re-pays dict lookups and string parsing thousands
+    of times and makes behavior racy against tests that mutate
+    ``os.environ``.  Read once at construction time and cache.  A read
+    is *hot* when it sits syntactically inside a loop, or inside a
+    function reachable from a loop body via the module-local call graph.
     """
 
     rule_id = "R015"
     severity = "error"
     description = (
-        "os.environ/os.getenv read inside a hot loop of repro/core; read "
-        "once at construction time and cache"
+        "os.environ/os.getenv read inside a hot loop of repro/core or "
+        "repro/serve; read once at construction time and cache"
     )
-    path_filters = ("core/",)
+    path_filters = ("core/", "serve/")
 
     @staticmethod
     def _env_reads(tree: ast.Module) -> list[ast.AST]:
