@@ -1,0 +1,181 @@
+"""Process-level rank backend: measured halo exchange + overlap (ROADMAP 2).
+
+The virtual cluster *meters* communication; :mod:`repro.hpc.procranks`
+*executes* it — P forked rank processes moving ghost payloads through
+shared memory, with the interior-cell GEMMs overlapping in-flight halos.
+This benchmark measures what BENCH_fig8 previously only modeled:
+
+* SCF wall time at P ∈ {1, 2, 4} ranks, overlap on vs off;
+* the per-phase breakdown (boundary / interior / halo-wait / recv) and
+  the halo-wait fraction overlap is supposed to hide;
+* the measured ``overlap_residual`` that recalibrates
+  :class:`repro.hpc.perfmodel.ModelOptions` (consumed by bench_fig8).
+
+Honesty note: real speedup from P processes needs P cores.  On
+single-core hosts (the CI box reports 1) the workers time-slice, so the
+P=4-vs-P=1 speedup assertion is gated on ``os.cpu_count()`` and the
+measured numbers are recorded as-is with ``host_cores`` alongside.
+
+The fast test is the schema smoke (apply-level phases + calibration);
+the full SCF sweep runs behind ``-m slow``.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.fem.mesh import uniform_mesh
+from repro.hpc.cluster import VirtualCluster
+from repro.hpc.perfmodel import calibrate_overlap
+from repro.hpc.procranks import ProcRankCluster, SharedArena
+from repro.obs import Stopwatch
+
+from _harness import write_result
+
+HOST_CORES = os.cpu_count() or 1
+
+#: tolerance for "overlap is never slower": on an oversubscribed host the
+#: schedules time-slice identically, so only gross regressions are real
+_OVERLAP_TOL = 1.25
+
+
+def test_procranks_apply_phases_smoke(table_printer):
+    """Schema smoke: measured phases + calibration at P=2 (fast, tier-level)."""
+    mesh = uniform_mesh((6.0,) * 3, (3, 3, 3), degree=3)
+    x = np.random.default_rng(5).normal(size=(mesh.nnodes, 8))
+    ref = VirtualCluster(mesh, 2).apply_stiffness(x)
+
+    reports = {}
+    for overlap in (True, False):
+        with ProcRankCluster(mesh, 2, overlap=overlap) as cluster:
+            watch = Stopwatch()
+            for _ in range(4):
+                y = cluster.apply_stiffness(x)
+            wall = watch.elapsed()
+            assert np.array_equal(y, ref)  # bitwise, both schedules
+            reports[overlap] = (cluster.phase_report(), wall)
+    assert SharedArena.live_segment_names() == []
+
+    cal = calibrate_overlap(reports[True][0], reports[False][0])
+    rows = [
+        (
+            "on" if ov else "off",
+            rep["apply_total_s"],
+            rep["halo_wait_s"],
+            rep["halo_wait_fraction"],
+        )
+        for ov, (rep, _) in reports.items()
+    ]
+    table_printer(
+        "procranks: measured apply phases (P=2)",
+        ["overlap", "apply s", "halo-wait s", "wait frac"],
+        rows,
+    )
+    write_result(
+        "procranks",
+        params={"mode": "apply_smoke", "nranks": 2, "host_cores": HOST_CORES},
+        wall_seconds=reports[True][1],
+        metrics={
+            "overlap_on": reports[True][0] | {"per_rank": None},
+            "overlap_off": reports[False][0] | {"per_rank": None},
+            "overlap_residual": cal.residual,
+            "compute_s": cal.compute_s,
+            "comm_s": cal.comm_s,
+            "overlapped_s": cal.overlapped_s,
+        },
+    )
+    report_on = reports[True][0]
+    assert report_on["applies"] == 4
+    assert report_on["apply_total_s"] > 0.0
+    assert 0.0 <= report_on["halo_wait_fraction"] <= 1.0
+    assert 0.0 <= cal.residual <= 1.0
+
+
+def _scf_wall(molecule_cfg, backend, nranks, overlap):
+    """One SCF run; returns (wall_seconds, energy, phase_report | None)."""
+    from repro.atoms.pseudo import AtomicConfiguration
+    from repro.core import DFTCalculation, SCFOptions
+
+    os.environ["REPRO_OVERLAP"] = "1" if overlap else "0"
+    try:
+        config = AtomicConfiguration(*molecule_cfg)
+        calc = DFTCalculation(
+            config, padding=6.0, cells_per_axis=3, degree=3, nstates=4,
+            options=SCFOptions(
+                max_iterations=25, backend=backend, nranks=nranks
+            ),
+        )
+        with calc:
+            watch = Stopwatch()
+            res = calc.run()
+            wall = watch.elapsed()
+            report = None
+            op = calc.driver.channels[0].op
+            cluster = getattr(op, "cluster", None)
+            if isinstance(cluster, ProcRankCluster):
+                report = cluster.phase_report()
+        return wall, float(res.energy), report
+    finally:
+        os.environ.pop("REPRO_OVERLAP", None)
+
+
+@pytest.mark.slow
+def test_procranks_scf_sweep(table_printer):
+    """Full sweep: SCF wall at P ∈ {1, 2, 4}, overlap on/off, vs virtual."""
+    h2 = (["H", "H"], [[0.0, 0.0, 0.0], [1.4, 0.0, 0.0]])
+
+    rows = []
+    walls = {}
+    for nranks in (1, 2, 4):
+        # the bitwise contract is per-partition: proc == virtual at the
+        # same P (across P only the owner-sum *order* is fixed, and
+        # different partitions legitimately round differently)
+        _, e_virtual, _ = _scf_wall(h2, "virtual", nranks, True)
+        for overlap in (True, False):
+            wall, energy, report = _scf_wall(h2, "proc", nranks, overlap)
+            assert energy == e_virtual  # bitwise across backend & schedule
+            assert SharedArena.live_segment_names() == []
+            walls[(nranks, overlap)] = wall
+            frac = report["halo_wait_fraction"] if report else 0.0
+            rows.append(
+                ("on" if overlap else "off", nranks, wall, frac)
+            )
+            write_result(
+                "procranks",
+                params={
+                    "mode": "scf_sweep", "molecule": "H2",
+                    "nranks": nranks, "overlap": overlap,
+                    "host_cores": HOST_CORES,
+                },
+                wall_seconds=wall,
+                metrics={
+                    "energy_ha": energy,
+                    "bitwise_vs_virtual": True,
+                    "halo_wait_fraction": frac,
+                    "speedup_vs_p1": None,  # filled by the summary record
+                },
+            )
+    table_printer(
+        "procranks: SCF wall (H2, 25 SCF cap)",
+        ["overlap", "P", "wall s", "wait frac"],
+        rows,
+    )
+    speedup_p4 = walls[(1, True)] / walls[(4, True)]
+    write_result(
+        "procranks",
+        params={"mode": "scf_summary", "host_cores": HOST_CORES},
+        wall_seconds=None,
+        metrics={
+            "speedup_p4_overlap_on": speedup_p4,
+            "walls": {
+                f"P{n}_{'on' if ov else 'off'}": w
+                for (n, ov), w in walls.items()
+            },
+        },
+    )
+    for nranks in (1, 2, 4):
+        assert walls[(nranks, True)] <= _OVERLAP_TOL * walls[(nranks, False)]
+    if HOST_CORES >= 4:
+        # the acceptance target needs real cores to mean anything
+        assert speedup_p4 >= 1.5

@@ -50,15 +50,21 @@ def _command(name: str, help_line: str):
 
 @_command("info", "package, substrate and machine-model summary")
 def _cmd_info(_args) -> int:
+    import os
+
     import repro
+    from repro.hpc.distributed import RANK_BACKENDS
     from repro.hpc.machine import MACHINES
     from repro.hpc.runtime import PAPER_WORKLOADS
     from repro.pipeline import MOLECULE_LIBRARY
 
+    cores = os.cpu_count() or 1
     print(f"repro {repro.__version__} — SC'23 DFT-FE-MLXC reproduction")
     print(f"  molecules: {', '.join(sorted(MOLECULE_LIBRARY))}")
     print(f"  workloads: {', '.join(sorted(PAPER_WORKLOADS))}")
     print(f"  machines:  {', '.join(sorted(MACHINES))}")
+    print(f"  backends:  serial, {', '.join(RANK_BACKENDS)} "
+          f"(host cores: {cores}; default proc rank count: {max(2, cores)})")
     print("  commands:")
     width = max(len(n) for n in COMMANDS)
     for name in sorted(COMMANDS):
@@ -81,10 +87,16 @@ def _run_library_scf(args):
     symbols, positions, *_ = MOLECULE_LIBRARY[args.molecule]
     config = AtomicConfiguration(list(symbols), np.asarray(positions, float))
     xc = {"lda": LDA, "pbe": PBE}[args.xc]()
-    options = SCFOptions(max_iterations=args.max_scf, verbose=True)
+    backend = getattr(args, "backend", "serial")
+    nranks = max(1, int(getattr(args, "ranks", 2)))
+    options = SCFOptions(
+        max_iterations=args.max_scf, verbose=True,
+        backend=backend, nranks=nranks,
+    )
     if getattr(args, "checkpoint", None):
         options = SCFOptions(
             max_iterations=args.max_scf, verbose=True,
+            backend=backend, nranks=nranks,
             checkpoint_path=args.checkpoint,
             checkpoint_every=args.checkpoint_every,
             checkpoint_metadata={
@@ -97,7 +109,10 @@ def _run_library_scf(args):
         config, xc=xc, degree=args.degree, cells_per_axis=args.cells,
         options=options,
     )
-    return xc.name, calc.run(resume_from=getattr(args, "resume_from", None))
+    with calc:  # tears down proc-backend worker fleets on exit
+        return xc.name, calc.run(
+            resume_from=getattr(args, "resume_from", None)
+        )
 
 
 def _print_profile(agg) -> None:
@@ -266,7 +281,8 @@ def _cmd_serve(args) -> int:
             args.jobs, distinct=args.distinct, seed=args.seed
         )
     policy = SchedulerPolicy(
-        total_ranks=args.ranks, slice_iterations=args.slice
+        total_ranks=args.ranks, slice_iterations=args.slice,
+        backend=args.backend,
     )
     report = run_jobs(
         requests, workdir=args.workdir, policy=policy, workers=args.workers
@@ -346,6 +362,17 @@ def main(argv: list[str] | None = None) -> int:
             "--checkpoint-every", type=int, default=1, metavar="N",
             help="snapshot every N SCF iterations (default: 1)",
         )
+        p.add_argument(
+            "--backend", choices=("serial", "virtual", "proc"),
+            default="serial",
+            help="rank substrate: serial (golden reference), virtual "
+                 "(metered in-process ranks) or proc (real shared-memory "
+                 "rank processes; bitwise-identical energies)",
+        )
+        p.add_argument(
+            "--ranks", type=int, default=2, metavar="P",
+            help="rank count for the virtual/proc backends (default: 2)",
+        )
 
     p = sub.add_parser("scf")
     _add_scf_args(p)
@@ -399,6 +426,11 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument(
         "--ranks", type=int, default=8,
         help="virtual-cluster rank budget (default: 8)",
+    )
+    p.add_argument(
+        "--backend", choices=("serial", "virtual", "proc"),
+        default="serial",
+        help="rank substrate for SCF/bands jobs (default: serial)",
     )
     p.add_argument(
         "--slice", type=int, default=None, metavar="N",

@@ -91,6 +91,33 @@ def filter_block(
     sigma1 = sigma
     ws = workspace if workspace is not None else getattr(op, "workspace", None)
     if ws is None or not ws.enabled:
+        # Overlap-capable operators (the process-rank backend) expose
+        # apply_begin/apply_finish: the halo exchange + cell GEMMs fly on
+        # the rank fleet while this side precomputes the recurrence's
+        # local terms (c·Y and σσ₂·X).  Same operands, same operation
+        # order once assembled — bit-for-bit equal to the eager schedule,
+        # which REPRO_OVERLAP=0 selects.
+        overlap = bool(getattr(op, "overlap", False)) and hasattr(op, "apply_begin")
+        if overlap:
+            if hx0 is None:
+                pending = op.apply_begin(X)
+                cX = c * X
+                HX = op.apply_finish(pending)
+            else:
+                HX, cX = hx0, c * X
+            Y = (HX - cX) * (sigma1 / e)
+            for _ in range(2, m + 1):
+                sigma2 = 1.0 / (2.0 / sigma1 - sigma)
+                pending = op.apply_begin(Y)
+                cY = c * Y
+                sX = (sigma * sigma2) * X
+                HY = op.apply_finish(pending)
+                Ynew = (HY - cY) * (2.0 * sigma2 / e) - sX
+                X, Y = Y, Ynew
+                sigma = sigma2
+            if _faults._PLAN is not None:  # reprochaos site (no-op unarmed)
+                _faults.fault_point("filter_block", Y)
+            return Y
         HX = op.apply(X) if hx0 is None else hx0
         Y = (HX - c * X) * (sigma1 / e)
         for _ in range(2, m + 1):

@@ -157,6 +157,16 @@ class DFTCalculation:
             resume_from=resume_from,
         )
 
+    def close(self) -> None:
+        """Release backend resources (process-rank worker fleets)."""
+        self.driver.close()
+
+    def __enter__(self) -> "DFTCalculation":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
 
 def homo_lumo_gap(result: SCFResult) -> float:
     """HOMO-LUMO gap (Ha) from the occupation-resolved spectrum."""

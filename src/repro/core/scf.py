@@ -118,6 +118,16 @@ class SCFOptions:
     #: recovery budget for faulted channel eigensolves (see
     #: :mod:`repro.resilience`)
     retry_policy: RetryPolicy = RetryPolicy()
+    #: rank backend for the Hamiltonian applies: "serial" (the in-process
+    #: KSOperator), "virtual" (simulated ranks, metered traffic), or
+    #: "proc" (real forked ranks over shared memory).  The distributed
+    #: backends are bitwise-identical to each other; "serial" remains the
+    #: default and the golden-value reference.
+    backend: str = "serial"
+    #: rank count for the distributed backends
+    nranks: int = 2
+    #: FP32 halo exchange on the distributed backends (paper Sec 5.4.2)
+    fp32_halo: bool = False
 
 
 @dataclass
@@ -176,13 +186,31 @@ class SCFDriver:
         self.channels: list[KSChannel] = []
         ops: dict[tuple, KSOperator] = {}
         spins = (0, 1) if spin_polarized else (None,)
+        backend = self.options.backend
+        if backend not in ("serial",) and nonlocal_projectors:
+            raise ValueError(
+                "distributed rank backends do not carry nonlocal projectors; "
+                "use backend='serial' for pseudopotential runs"
+            )
         for kfrac, w in kpoints:
             key = tuple(np.round(kfrac, 12))
             if key not in ops:
-                ops[key] = KSOperator(
-                    mesh, kfrac=kfrac, ledger=ledger,
-                    nonlocal_projectors=nonlocal_projectors,
-                )
+                if backend == "serial":
+                    ops[key] = KSOperator(
+                        mesh, kfrac=kfrac, ledger=ledger,
+                        nonlocal_projectors=nonlocal_projectors,
+                    )
+                else:
+                    from repro.hpc.distributed import DistributedKSOperator
+
+                    ops[key] = DistributedKSOperator(
+                        mesh,
+                        self.options.nranks,
+                        kfrac=kfrac,
+                        fp32_halo=self.options.fp32_halo,
+                        backend=backend,
+                        ledger=ledger,
+                    )
             for i, s in enumerate(spins):
                 # every channel owns its operator (its potential), so the
                 # parallel dispatch cannot race set_potential across spins;
@@ -205,6 +233,24 @@ class SCFDriver:
         # loop must not change width mid-run (reprolint R015).
         env = os.environ.get("REPRO_NUM_THREADS", "").strip()
         self._env_threads = int(env) if env else 1
+
+    def close(self) -> None:
+        """Release operator backend resources (process-rank worker fleets).
+
+        Idempotent; serial and virtual backends have nothing to release.
+        Distributed clones share one cluster, whose close is itself
+        idempotent, so closing every channel is safe.
+        """
+        for ch in self.channels:
+            closer = getattr(ch.op, "close", None)
+            if closer is not None:
+                closer()
+
+    def __enter__(self) -> "SCFDriver":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def run(

@@ -325,6 +325,12 @@ def fused_cholgs_rr(
         kernel="CholGS-S",
         workspace=ws,
     )
+    # distributed operators sum the gram over ranks: an allreduce on the
+    # cluster (metered on the virtual backend, bytes carried for real
+    # through shared memory on the process backend — bitwise identity)
+    cluster = getattr(op, "cluster", None)
+    if cluster is not None:
+        S = cluster.allreduce(S)
     Linv = None
     fallback = False
     with kernel_region("CholGS-CI", ledger):
@@ -360,6 +366,8 @@ def fused_cholgs_rr(
         kernel="RR-P",
         workspace=ws,
     )
+    if cluster is not None:
+        Hp = cluster.allreduce(Hp)
     Hp = 0.5 * (Hp + Hp.conj().T)
     if Linv is not None:
         with kernel_region("RR-P", ledger):

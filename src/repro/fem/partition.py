@@ -76,6 +76,26 @@ class Partition:
                     )
         # process_grid may produce fewer blocks than nranks never; exactly prod(grid)
         assert len(self.cells_of_rank) == int(np.prod(self.grid))
+        # Reorder each rank's cells *boundary-first* (stable within each
+        # class).  Boundary cells are the ones touching a halo node — the
+        # only cells whose contributions cross rank boundaries.  Computing
+        # them first lets an overlapping backend post its halo sends before
+        # the interior work, and because every backend (virtual and
+        # process-level) iterates the same reordered list, the per-node
+        # accumulation order — hence the bitwise result — is identical
+        # whether or not the interior compute is overlapped with the
+        # exchange.  The halo/owner/node caches are order-insensitive
+        # (np.unique), so they may be materialized before the reorder.
+        is_halo = np.zeros(self.mesh.nnodes, dtype=bool)
+        is_halo[self.halo_nodes] = True
+        conn = self.mesh.conn
+        self.n_boundary_of_rank: list[int] = []
+        for r, rcells in enumerate(self.cells_of_rank):
+            boundary = is_halo[conn[rcells]].any(axis=1)
+            self.cells_of_rank[r] = np.concatenate(
+                [rcells[boundary], rcells[~boundary]]
+            )
+            self.n_boundary_of_rank.append(int(np.count_nonzero(boundary)))
 
     @cached_property
     def nodes_of_rank(self) -> list[np.ndarray]:
@@ -108,6 +128,37 @@ class Partition:
         """Halo nodes touched by ``rank`` (sent/received each scatter)."""
         nodes = self.nodes_of_rank[rank]
         return nodes[self.touch_count[nodes] > 1]
+
+    @cached_property
+    def neighbors_of_rank(self) -> list[np.ndarray]:
+        """Ranks sharing at least one (halo) node with each rank."""
+        nranks = len(self.cells_of_rank)
+        touch = np.zeros((nranks, self.mesh.nnodes), dtype=bool)
+        for r, nodes in enumerate(self.nodes_of_rank):
+            touch[r, nodes] = True
+        shared = touch[:, self.halo_nodes]
+        out = []
+        for r in range(nranks):
+            both = shared & shared[r]
+            ranks = np.nonzero(both.any(axis=1))[0]
+            out.append(ranks[ranks != r].astype(np.int32))
+        return out
+
+    def send_nodes(self, src: int, dst: int) -> np.ndarray:
+        """Global nodes touched by ``src`` but owned by ``dst`` (sorted).
+
+        These are exactly the nodes whose partial sums ``src`` ships to
+        ``dst`` in the owner-sum halo protocol; the receiving rank adds the
+        payloads in increasing sender order, matching the virtual cluster's
+        increasing-rank accumulation bit for bit.
+        """
+        nodes = self.nodes_of_rank[src]
+        return nodes[self.owner[nodes] == dst]
+
+    def owned_nodes(self, rank: int) -> np.ndarray:
+        """Global nodes owned by ``rank`` (sorted)."""
+        nodes = self.nodes_of_rank[rank]
+        return nodes[self.owner[nodes] == rank]
 
     def dof_balance(self) -> np.ndarray:
         """Owned-node counts per rank — near-equal for balanced partitions."""

@@ -9,8 +9,17 @@ from .flops import (
     gemm_flops,
     projected_step_flops,
 )
+from .distributed import RANK_BACKENDS
 from .machine import CRUSHER, FRONTIER, MACHINES, PERLMUTTER, SUMMIT, MachineSpec
-from .perfmodel import KernelTime, ModelOptions, cf_block_efficiency, kernel_times
+from .perfmodel import (
+    KernelTime,
+    MeasuredOverlap,
+    ModelOptions,
+    calibrate_overlap,
+    cf_block_efficiency,
+    kernel_times,
+    measured_overlap_residual,
+)
 from .runtime import (
     PAPER_WORKLOADS,
     ScfModel,
@@ -29,18 +38,22 @@ __all__ = [
     "KernelTime",
     "MACHINES",
     "MachineSpec",
+    "MeasuredOverlap",
     "ModelOptions",
     "PAPER_WORKLOADS",
     "PERLMUTTER",
+    "RANK_BACKENDS",
     "SUMMIT",
     "ScfModel",
     "TrafficReport",
     "VirtualCluster",
     "Workload",
+    "calibrate_overlap",
     "cf_block_efficiency",
     "chebyshev_filter_flops",
     "gemm_flops",
     "kernel_times",
+    "measured_overlap_residual",
     "projected_step_flops",
     "scf_breakdown",
     "strong_scaling",

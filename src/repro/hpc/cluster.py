@@ -29,7 +29,29 @@ from repro.resilience import InjectedFault, ResilienceError
 from repro.resilience import faults as _faults
 from repro.tools import sanitize as _sanitize
 
-__all__ = ["TrafficReport", "VirtualCluster"]
+__all__ = ["TrafficReport", "VirtualCluster", "apply_cells"]
+
+
+def apply_cells(stiff, X: np.ndarray, conn: np.ndarray, cells: np.ndarray) -> np.ndarray:
+    """Cell-level batched stiffness GEMMs on one subset of cells.
+
+    The gather → (Bloch phase) → batched matmul → (conjugate phase)
+    sequence every rank backend shares: the in-process virtual cluster and
+    the process-level workers call this same function on the same cell
+    subsets, which is what keeps their per-cell results bitwise identical.
+    """
+    Xc = X[conn[cells]]
+    if stiff.phases is not None:
+        Xc = Xc * stiff.phases[cells][:, :, None]
+    if stiff._Kc is not None:
+        Yc = np.matmul(stiff._Kc, Xc)
+    else:
+        Yc = stiff._coef[cells, 0, None, None] * np.matmul(stiff._A[0], Xc)
+        Yc += stiff._coef[cells, 1, None, None] * np.matmul(stiff._A[1], Xc)
+        Yc += stiff._coef[cells, 2, None, None] * np.matmul(stiff._A[2], Xc)
+    if stiff.phases is not None:
+        Yc = np.conj(stiff.phases[cells])[:, :, None] * Yc
+    return Yc
 
 
 @dataclass
@@ -50,6 +72,12 @@ class TrafficReport:
 
 class VirtualCluster:
     """P simulated ranks executing the distributed stiffness application."""
+
+    #: whether the backend overlaps halo exchange with interior compute
+    #: (the in-process cluster is sequential by construction)
+    overlap = False
+    #: backend name reported by ``repro info`` and the traffic reports
+    backend = "virtual"
 
     def __init__(
         self,
@@ -74,19 +102,8 @@ class VirtualCluster:
         self._workspace = Workspace()
         self._owner = self.partition.owner
         # neighbor counts: ranks sharing at least one node
-        touch = np.zeros((self.nranks, mesh.nnodes), dtype=bool)
-        for r, nodes in enumerate(self.partition.nodes_of_rank):
-            touch[r, nodes] = True
-        shared = touch[:, self.partition.halo_nodes]
         self._neighbors = [
-            int(
-                sum(
-                    1
-                    for r2 in range(self.nranks)
-                    if r2 != r and bool(np.any(shared[r] & shared[r2]))
-                )
-            )
-            for r in range(self.nranks)
+            int(nbrs.size) for nbrs in self.partition.neighbors_of_rank
         ]
 
     @property
@@ -110,12 +127,6 @@ class VirtualCluster:
         y = np.zeros((self.mesh.nnodes, B), dtype=dtype)
         conn = self.mesh.conn
         for r, cells in enumerate(self.partition.cells_of_rank):
-            Xc = X[conn[cells]]
-            if self.stiff.phases is not None:
-                Xc = Xc * self.stiff.phases[cells][:, :, None]
-            Yc = self._apply_cells_subset(Xc, cells)
-            if self.stiff.phases is not None:
-                Yc = np.conj(self.stiff.phases[cells])[:, :, None] * Yc
             # pooled across ranks (zeroed each time, so the accumulation is
             # bitwise identical to a fresh np.zeros per rank)
             local = self._workspace.get(
@@ -124,10 +135,20 @@ class VirtualCluster:
             san = _sanitize._STATE
             if san is not None:
                 san.assert_owned(local, context="cluster rank-local accumulator")
-            # Sanctioned slow scatter: the rank-local partial sums model the
-            # cluster's per-rank accumulation order, which the fast ScatterMap
-            # (built for the *global* connectivity) cannot reproduce per rank.
-            np.add.at(local, conn[cells].ravel(), Yc.reshape(-1, B))  # reprolint: disable=R010
+            # Two passes — boundary cells (the partition orders them first)
+            # then interior — matching the process backend's overlapped
+            # schedule pass-for-pass; per-node accumulation order (hence
+            # bits) is unchanged because the cell order is the same.
+            nb = self.partition.n_boundary_of_rank[r]
+            for sub in (cells[:nb], cells[nb:]):
+                if sub.size == 0:
+                    continue
+                Yc = apply_cells(self.stiff, X, conn, sub)
+                # Sanctioned slow scatter: the rank-local partial sums model
+                # the cluster's per-rank accumulation order, which the fast
+                # ScatterMap (built for the *global* connectivity) cannot
+                # reproduce per rank.
+                np.add.at(local, conn[sub].ravel(), Yc.reshape(-1, B))  # reprolint: disable=R010
             halo = self._halo_of_rank[r]
             remote = halo[self._owner[halo] != r]
             if _faults._PLAN is not None and remote.size:
@@ -142,18 +163,26 @@ class VirtualCluster:
                 local[remote] = local[remote].astype(f32).astype(dtype)
             y += local
             # metering: partials sent to owners + summed values received back
-            halo_bytes = 2 * remote.size * B * self.halo_word_bytes
-            if san is not None:
-                san.write_begin(self._san_tag)
-            try:
-                self.traffic.p2p_bytes += halo_bytes
-                self.traffic.p2p_messages += 2 * self._neighbors[r]
-            finally:
-                if san is not None:
-                    san.write_end(self._san_tag)
-            add_counter("halo_bytes", halo_bytes)
-            add_counter("halo_messages", 2 * self._neighbors[r])
+            self._meter_halo(r, remote.size, B)
         return y[:, 0] if squeeze else y
+
+    def _meter_halo(self, r: int, remote_size: int, B: int) -> None:
+        """Meter one rank's halo exchange (sanitizer-windowed)."""
+        halo_bytes = 2 * remote_size * B * self.halo_word_bytes
+        san = _sanitize._STATE
+        if san is not None:
+            san.write_begin(self._san_tag)
+        try:
+            self.traffic.p2p_bytes += halo_bytes
+            self.traffic.p2p_messages += 2 * self._neighbors[r]
+        finally:
+            if san is not None:
+                san.write_end(self._san_tag)
+        add_counter("halo_bytes", halo_bytes)
+        add_counter("halo_messages", 2 * self._neighbors[r])
+
+    def close(self) -> None:
+        """Release backend resources (no-op for the in-process cluster)."""
 
     #: consecutive failed transfers tolerated before the exchange gives up
     _MAX_HALO_RETRANSMITS = 3
@@ -193,15 +222,6 @@ class VirtualCluster:
                     attempts=attempts,
                 )
             np.copyto(local, pristine)
-
-    def _apply_cells_subset(self, Xc: np.ndarray, cells: np.ndarray) -> np.ndarray:
-        st = self.stiff
-        if st._Kc is not None:
-            return np.matmul(st._Kc, Xc)
-        out = st._coef[cells, 0, None, None] * np.matmul(st._A[0], Xc)
-        out += st._coef[cells, 1, None, None] * np.matmul(st._A[1], Xc)
-        out += st._coef[cells, 2, None, None] * np.matmul(st._A[2], Xc)
-        return out
 
     def allreduce(self, array: np.ndarray) -> np.ndarray:
         """Meter an allreduce of ``array`` across the ranks (identity op)."""

@@ -1,12 +1,23 @@
-"""Distributed Kohn-Sham operator: the SCF kernels over the virtual cluster.
+"""Distributed Kohn-Sham operator: the SCF kernels over a rank cluster.
 
-Wraps :class:`repro.hpc.cluster.VirtualCluster` in the same interface as
+Wraps a rank backend — :class:`repro.hpc.cluster.VirtualCluster` (simulated
+ranks, metered traffic) or :class:`repro.hpc.procranks.ProcRankCluster`
+(real forked ranks over shared memory) — in the same interface as
 :class:`repro.fem.assembly.KSOperator`, so the ChFES eigensolver (and any
 other consumer of the operator API) runs its Hamiltonian applications
-through the *distributed* owner-sum halo protocol — with optional FP32
-boundary communication.  This is how the paper's mixed-precision claim is
-validated at the eigensolver level: the distributed FP32-halo spectrum must
-match the serial FP64 spectrum to well below the discretization error.
+through the *distributed* owner-sum halo protocol, with optional FP32
+boundary communication.  The two backends are bitwise identical, which is
+how the paper's mixed-precision and overlap claims are validated at the
+eigensolver level: spectra (and SCF energies) must match across backends
+bit for bit, and the serial FP64 spectrum to well below the discretization
+error.
+
+The ``apply_begin`` / ``apply_finish`` pair is the operator-level half of
+the compute/communication overlap: begin ships the block to the rank fleet
+and immediately computes the local potential term while the halo exchange
+and cell GEMMs are in flight; finish joins and assembles.  Both halves
+perform the same arithmetic as the plain ``apply``, in the same operand
+order, so overlapped and synchronous schedules are bit-for-bit equal.
 """
 
 from __future__ import annotations
@@ -19,11 +30,28 @@ from repro.resilience import faults as _faults
 
 from .cluster import VirtualCluster
 
-__all__ = ["DistributedKSOperator"]
+__all__ = ["DistributedKSOperator", "RANK_BACKENDS"]
+
+#: selectable rank backends (``repro info`` reports these)
+RANK_BACKENDS = ("virtual", "proc")
+
+
+def _make_cluster(backend: str, mesh, nranks, kfrac, fp32_halo, overlap):
+    if backend == "virtual":
+        return VirtualCluster(mesh, nranks, kfrac=kfrac, fp32_halo=fp32_halo)
+    if backend == "proc":
+        from .procranks import ProcRankCluster
+
+        return ProcRankCluster(
+            mesh, nranks, kfrac=kfrac, fp32_halo=fp32_halo, overlap=overlap
+        )
+    raise ValueError(
+        f"unknown rank backend {backend!r} (choose from {RANK_BACKENDS})"
+    )
 
 
 class DistributedKSOperator:
-    """Drop-in KSOperator whose stiffness runs on P virtual ranks."""
+    """Drop-in KSOperator whose stiffness runs on P (virtual or real) ranks."""
 
     def __init__(
         self,
@@ -31,10 +59,15 @@ class DistributedKSOperator:
         nranks: int,
         kfrac: tuple[float, float, float] | None = None,
         fp32_halo: bool = False,
+        backend: str = "virtual",
+        overlap: bool | None = None,
+        ledger=None,
     ) -> None:
         self.mesh = mesh
-        self.cluster = VirtualCluster(mesh, nranks, kfrac=kfrac, fp32_halo=fp32_halo)
+        self.backend = backend
+        self.cluster = _make_cluster(backend, mesh, nranks, kfrac, fp32_halo, overlap)
         self.dtype = self.cluster.stiff.dtype
+        self.ledger = ledger
         self._dinvsqrt = 1.0 / np.sqrt(mesh.mass_diag)
         self._v_free = np.zeros(mesh.ndof)
 
@@ -44,14 +77,51 @@ class DistributedKSOperator:
 
     @property
     def traffic(self):
-        """Communication meter of the underlying virtual cluster."""
+        """Communication meter of the underlying cluster."""
         return self.cluster.traffic
+
+    @property
+    def overlap(self) -> bool:
+        """Whether this operator's backend overlaps compute with halos."""
+        return bool(self.cluster.overlap) and hasattr(
+            self.cluster, "apply_stiffness_begin"
+        )
 
     def set_potential(self, v_full: np.ndarray) -> None:
         """Set the effective potential from its full-node sampling."""
         if v_full.shape != (self.mesh.nnodes,):
             raise ValueError("potential must be sampled at all mesh nodes")
         self._v_free = np.ascontiguousarray(v_full[self.mesh.free])
+
+    @property
+    def potential_free(self) -> np.ndarray:
+        return self._v_free
+
+    def clone(self) -> "DistributedKSOperator":
+        """Operator sharing the rank cluster but owning its potential.
+
+        The parallel multi-channel ChFES gives each spin channel a clone;
+        the shared cluster serializes concurrent applies internally (the
+        process backend holds a lock across begin/finish), so clones are
+        race-free by construction.
+        """
+        new = DistributedKSOperator.__new__(DistributedKSOperator)
+        new.mesh = self.mesh
+        new.backend = self.backend
+        new.cluster = self.cluster
+        new.dtype = self.dtype
+        new.ledger = self.ledger
+        new._dinvsqrt = self._dinvsqrt
+        new._v_free = self._v_free.copy()
+        return new
+
+    def _lift(self, Xb: np.ndarray) -> np.ndarray:
+        full = np.zeros(
+            (self.mesh.nnodes, Xb.shape[1]),
+            dtype=np.result_type(self.dtype, Xb.dtype),
+        )
+        full[self.mesh.free] = self._dinvsqrt[self.mesh.free, None] * Xb
+        return full
 
     def apply(self, X: np.ndarray) -> np.ndarray:
         """Apply the Löwdin KS operator via the distributed stiffness."""
@@ -60,14 +130,43 @@ class DistributedKSOperator:
         with trace_region(
             "Distributed-apply", nranks=self.cluster.nranks, nvec=Xb.shape[1]
         ):
-            full = np.zeros(
-                (self.mesh.nnodes, Xb.shape[1]),
-                dtype=np.result_type(self.dtype, Xb.dtype),
-            )
-            full[self.mesh.free] = self._dinvsqrt[self.mesh.free, None] * Xb
-            out = self.cluster.apply_stiffness(full)
+            out = self.cluster.apply_stiffness(self._lift(Xb))
             y = 0.5 * self._dinvsqrt[self.mesh.free, None] * out[self.mesh.free]
             y += self._v_free[:, None] * Xb
+        if _faults._PLAN is not None:  # reprochaos site (no-op unarmed)
+            _faults.fault_point("ks_apply", y)
+        return y[:, 0] if squeeze else y
+
+    def apply_begin(self, X: np.ndarray):
+        """Start an overlapped apply: post the stiffness, compute ``V x``.
+
+        The potential term — the only purely local arithmetic of the
+        operator — is evaluated while the rank fleet runs the halo
+        exchange and cell GEMMs.  Falls back to an eager ``apply`` when
+        the backend cannot overlap; either way :meth:`apply_finish`
+        completes the handle with bitwise-identical results.
+        """
+        begin = getattr(self.cluster, "apply_stiffness_begin", None)
+        if begin is None or not self.cluster.overlap:
+            return ("done", self.apply(X))
+        squeeze = X.ndim == 1
+        Xb = X[:, None] if squeeze else X
+        pending = begin(self._lift(Xb))
+        # overlapped with the in-flight halo exchange
+        vX = self._v_free[:, None] * Xb
+        return ("pending", pending, vX, squeeze)
+
+    def apply_finish(self, handle) -> np.ndarray:
+        """Join an overlapped apply started by :meth:`apply_begin`."""
+        if handle[0] == "done":
+            return handle[1]
+        _, pending, vX, squeeze = handle
+        with trace_region(
+            "Distributed-apply", nranks=self.cluster.nranks, nvec=vX.shape[1]
+        ):
+            out = self.cluster.apply_stiffness_finish(pending)
+            y = 0.5 * self._dinvsqrt[self.mesh.free, None] * out[self.mesh.free]
+            y += vX
         if _faults._PLAN is not None:  # reprochaos site (no-op unarmed)
             _faults.fault_point("ks_apply", y)
         return y[:, 0] if squeeze else y
@@ -81,3 +180,7 @@ class DistributedKSOperator:
         """Löwdin kinetic diagonal (MINRES preconditioner interface)."""
         kd = self.cluster.stiff.diagonal_full()
         return 0.5 * (kd * self._dinvsqrt**2)[self.mesh.free]
+
+    def close(self) -> None:
+        """Release backend resources (worker fleet, shared segments)."""
+        self.cluster.close()

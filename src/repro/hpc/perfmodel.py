@@ -36,7 +36,15 @@ import numpy as np
 
 from .machine import MachineSpec
 
-__all__ = ["KernelTime", "ModelOptions", "cf_block_efficiency", "kernel_times"]
+__all__ = [
+    "KernelTime",
+    "MeasuredOverlap",
+    "ModelOptions",
+    "calibrate_overlap",
+    "cf_block_efficiency",
+    "kernel_times",
+    "measured_overlap_residual",
+]
 
 
 @dataclass
@@ -51,6 +59,13 @@ class ModelOptions:
     use_tensor_cores: bool = True  #: A100 FP64 tensor cores
     block_size: int = 250  #: wavefunction block B_f
     fp32_fraction: float = 0.8  #: off-diagonal share of CholGS/RR work
+    #: residual cost of the hidden phase when compute/comm overlap is on:
+    #: t = max(compute, comm) + overlap_residual * min(compute, comm).
+    #: 0 is perfect hiding; 1 degenerates to the serial sum.  The default
+    #: is the fitted paper value; :func:`calibrate_overlap` replaces it
+    #: with the value *measured* on this host by the process-rank backend
+    #: (see ``benchmarks/bench_procranks.py``).
+    overlap_residual: float = 0.08
 
 
 @dataclass
@@ -149,10 +164,67 @@ def _gemm_rate(
     return base / ((1.0 - f32) + f32 / 2.0)
 
 
-def _overlap(compute: float, comm: float, enabled: bool) -> float:
+def _overlap(
+    compute: float, comm: float, enabled: bool, residual: float = 0.08
+) -> float:
     if enabled:
-        return max(compute, comm) + 0.08 * min(compute, comm)
+        return max(compute, comm) + residual * min(compute, comm)
     return compute + comm
+
+
+def measured_overlap_residual(
+    compute_s: float, comm_s: float, overlapped_s: float
+) -> float:
+    """Invert the overlap model from measured phase times.
+
+    Given the compute-only time, the full (unhidden) communication time and
+    the measured overlapped wall time of the same work, solve
+    ``overlapped = max(compute, comm) + r * min(compute, comm)`` for ``r``
+    and clip to [0, 1] (a negative solution means the overlapped run beat
+    perfect hiding — timer noise; > 1 means overlap made things worse than
+    serial, which the model caps at the serial sum).
+    """
+    lo = min(compute_s, comm_s)
+    if lo <= 0.0:
+        return 0.0
+    r = (overlapped_s - max(compute_s, comm_s)) / lo
+    return float(np.clip(r, 0.0, 1.0))
+
+
+@dataclass(frozen=True)
+class MeasuredOverlap:
+    """Overlap calibration extracted from process-rank phase reports."""
+
+    compute_s: float  #: per-apply per-rank compute (boundary + interior)
+    comm_s: float  #: per-apply per-rank unhidden halo exchange cost
+    overlapped_s: float  #: per-apply per-rank wall with overlap enabled
+    residual: float  #: fitted ``overlap_residual`` for :class:`ModelOptions`
+
+
+def calibrate_overlap(phase_on: dict, phase_off: dict) -> MeasuredOverlap:
+    """Fit ``ModelOptions.overlap_residual`` from two measured phase reports.
+
+    ``phase_on`` / ``phase_off`` are
+    :meth:`repro.hpc.procranks.ProcRankCluster.phase_report` dicts from an
+    overlap-enabled and overlap-disabled run of the same workload.  The
+    overlap-off run exposes the full communication cost (halo wait + copy-in
+    happen after all compute), so compute and comm separate cleanly there;
+    the overlap-on wall then pins the residual.  All times are normalised
+    per apply per rank so the two runs need not have equal apply counts.
+    """
+    def _norm(rep: dict, key: str) -> float:
+        denom = max(rep["applies"], 1) * max(rep["nranks"], 1)
+        return float(rep[key]) / denom
+
+    compute = _norm(phase_off, "boundary_s") + _norm(phase_off, "interior_s")
+    comm = _norm(phase_off, "halo_wait_s") + _norm(phase_off, "recv_s")
+    overlapped = _norm(phase_on, "apply_total_s")
+    return MeasuredOverlap(
+        compute_s=compute,
+        comm_s=comm,
+        overlapped_s=overlapped,
+        residual=measured_overlap_residual(compute, comm, overlapped),
+    )
 
 
 def kernel_times(
@@ -204,7 +276,10 @@ def kernel_times(
         machine, halo_bytes_node, nodes_inst, opts, fp32=opts.mixed_precision
     )
     out.append(
-        KernelTime("CF", cf_flops * n_instances, _overlap(cf_compute, cf_comm, p2p_overlap))
+        KernelTime(
+            "CF", cf_flops * n_instances,
+            _overlap(cf_compute, cf_comm, p2p_overlap, opts.overlap_residual),
+        )
     )
 
     # ---- CholGS ------------------------------------------------------------
@@ -214,7 +289,7 @@ def kernel_times(
     out.append(
         KernelTime(
             "CholGS-S", s_flops * n_instances,
-            _overlap(s_flops / gemm_rate, s_comm, coll_overlap),
+            _overlap(s_flops / gemm_rate, s_comm, coll_overlap, opts.overlap_residual),
         )
     )
     ci_time = _CI_SECONDS * (N / 1000.0) ** 1.5
@@ -228,7 +303,10 @@ def kernel_times(
     p_compute = (cx * N * M * N) / gemm_rate + hx_flops / (peak_inst * eff_cf)
     p_comm = _allreduce_time(machine, N * N * word, nodes_inst, opts)
     out.append(
-        KernelTime("RR-P", p_flops * n_instances, _overlap(p_compute, p_comm, coll_overlap))
+        KernelTime(
+            "RR-P", p_flops * n_instances,
+            _overlap(p_compute, p_comm, coll_overlap, opts.overlap_residual),
+        )
     )
     out.append(KernelTime("RR-D", 0.0, _RRD_OVER_CI * ci_time))
     sr_flops = 2.0 * cx * N * M * N

@@ -1,0 +1,31 @@
+"""Process-level rank backend: real shared-memory halo exchange.
+
+``repro.hpc.procranks`` promotes the domain-decomposed solver from
+*simulated* ranks (:class:`repro.hpc.VirtualCluster`, one process, metered
+traffic) to **real** ranks: P forked OS processes moving halo and
+collective payloads through named ``multiprocessing.shared_memory``
+segments, with asynchronous compute/communication overlap in the apply.
+
+Layout:
+
+* :mod:`.arena` — :class:`SharedArena`, the one sanctioned home of
+  ``SharedMemory`` creation (reprolint R017), leak-proof via finalizers;
+* :mod:`.worker` — the per-rank plan and forked worker loop;
+* :mod:`.cluster` — :class:`ProcRankCluster`, the drop-in
+  ``VirtualCluster`` replacement selected with ``backend="proc"``.
+
+The backend is bitwise-identical to the virtual cluster, overlap on or
+off — the partition-invariance suite asserts it down to the SCF energies.
+"""
+
+from .arena import SharedArena
+from .cluster import ProcRankCluster, overlap_from_env
+from .worker import RankPlan, build_plans
+
+__all__ = [
+    "ProcRankCluster",
+    "RankPlan",
+    "SharedArena",
+    "build_plans",
+    "overlap_from_env",
+]

@@ -1,0 +1,165 @@
+"""SharedArena: named shared-memory segments with an explicit lifecycle.
+
+The process-level rank backend moves halo and collective traffic through
+``multiprocessing.shared_memory`` segments: the full-node input block, the
+owned-DoF output slab, one double-buffered ghost region per directed halo
+edge, a raw byte channel for collectives, and small control/timing slabs.
+``SharedArena`` is the one place those segments are created, attached, and
+unlinked:
+
+* the **creator** (the parent process) calls :meth:`create`; every segment
+  is registered with a ``weakref.finalize`` so that even an abandoned arena
+  unlinks its backing files — the leak guard test asserts ``/dev/shm`` is
+  clean after normal exit, an exception, and a killed worker;
+* **workers** attach by name with :meth:`attach`; attached segments are
+  never unlinked by the worker.  Workers are *forked*, so they share the
+  parent's ``resource_tracker`` — each name is tracked exactly once and
+  removed by the creator's unlink, which also means a crashed parent still
+  gets its segments reaped by the tracker at interpreter exit.
+
+reprolint rule R017 pins ``SharedMemory`` construction to this module.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import uuid
+import weakref
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = ["SharedArena"]
+
+#: prefix of every segment name this repository creates (leak-guard key)
+ARENA_PREFIX = "reproarena"
+
+
+def _release_segments(segments: dict[str, shared_memory.SharedMemory], creator: bool) -> None:
+    """Close (and for the creator, unlink) every live segment.
+
+    Runs from ``SharedArena.close`` and from the arena finalizer.  A close
+    can raise ``BufferError`` while numpy views are still alive; the unlink
+    — which is what actually removes the ``/dev/shm`` file — is attempted
+    regardless, so a leaked view delays memory reclamation only until the
+    mappings die with the process, never the name.
+    """
+    for shm in list(segments.values()):
+        try:
+            shm.close()
+        except BufferError:  # reprolint: disable=R005 -- view still mapped
+            pass
+        if creator:
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # reprolint: disable=R005 -- already reaped
+                pass
+    segments.clear()
+
+
+class SharedArena:
+    """A family of named shared-memory segments with one owner.
+
+    Segment names are ``{ARENA_PREFIX}-{uid}-{tag}``; the ``uid`` is minted
+    by the creating arena and handed to workers, which attach to the same
+    names with ``create=False``.
+    """
+
+    def __init__(self, uid: str | None = None, create: bool = True) -> None:
+        self.creator = create
+        if create:
+            self.uid = uid if uid is not None else f"{os.getpid():x}-{uuid.uuid4().hex[:8]}"
+        else:
+            if uid is None:
+                raise ValueError("attaching arenas need the creator's uid")
+            self.uid = uid
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+        self._views: dict[str, np.ndarray] = {}
+        self._finalizer = weakref.finalize(
+            self, _release_segments, self._segments, create
+        )
+
+    def name_of(self, tag: str) -> str:
+        return f"{ARENA_PREFIX}-{self.uid}-{tag}"
+
+    def create(self, tag: str, shape: tuple[int, ...], dtype) -> np.ndarray:
+        """Create segment ``tag`` and return a zeroed ndarray view of it."""
+        if not self.creator:
+            raise RuntimeError("attached arenas cannot create segments")
+        if tag in self._segments:
+            raise ValueError(f"segment {tag!r} already exists in this arena")
+        nbytes = max(1, int(np.prod(shape)) * np.dtype(dtype).itemsize)
+        shm = shared_memory.SharedMemory(
+            name=self.name_of(tag), create=True, size=nbytes
+        )
+        self._segments[tag] = shm
+        view = np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+        view[...] = 0
+        self._views[tag] = view
+        return view
+
+    def attach(self, tag: str, shape: tuple[int, ...], dtype) -> np.ndarray:
+        """Attach to an existing segment and return an ndarray view.
+
+        Attaching registers the name with the (fork-shared) resource
+        tracker, where it already lives from the creator's ``create`` —
+        the tracker's cache is a set, so this is idempotent, and only the
+        creator's unlink removes it.  No unregister happens here: with a
+        shared tracker, a worker unregistering would strip the creator's
+        entry and break the crash backstop.
+        """
+        if tag in self._segments:
+            return self._views[tag]
+        shm = shared_memory.SharedMemory(name=self.name_of(tag))
+        self._segments[tag] = shm
+        view = np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+        self._views[tag] = view
+        return view
+
+    def view(self, tag: str) -> np.ndarray:
+        return self._views[tag]
+
+    def drop(self, tag: str) -> None:
+        """Close (and for the creator, unlink) one segment."""
+        shm = self._segments.pop(tag, None)
+        self._views.pop(tag, None)
+        if shm is None:
+            return
+        try:
+            shm.close()
+        except BufferError:  # reprolint: disable=R005 -- view still mapped
+            pass
+        if self.creator:
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # reprolint: disable=R005 -- already reaped
+                pass
+
+    @property
+    def tags(self) -> list[str]:
+        return sorted(self._segments)
+
+    def close(self) -> None:
+        """Release every segment now (idempotent; also runs at GC/exit)."""
+        self._views.clear()
+        _release_segments(self._segments, self.creator)
+
+    def __enter__(self) -> "SharedArena":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @staticmethod
+    def live_segment_names(uid: str | None = None) -> list[str]:
+        """Names of arena-created segments currently backing ``/dev/shm``.
+
+        The leak-guard tests call this after tearing a cluster down — the
+        list must be empty.  ``uid`` restricts the scan to one arena.
+        """
+        root = pathlib.Path("/dev/shm")
+        if not root.is_dir():  # non-Linux: nothing enumerable to guard
+            return []
+        prefix = ARENA_PREFIX if uid is None else f"{ARENA_PREFIX}-{uid}"
+        return sorted(p.name for p in root.iterdir() if p.name.startswith(prefix))

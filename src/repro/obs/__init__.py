@@ -32,6 +32,7 @@ from .kernels import (
     TABLE3_ORDER,
     paper_label,
 )
+from .merge import fold_record, merge_jsonl, merge_records
 from .report import kernel_totals, model_vs_measured, render_tree
 from .sinks import (
     AggregatedNode,
@@ -72,10 +73,13 @@ __all__ = [
     "add_event",
     "attach_to",
     "current_span",
+    "fold_record",
     "get_tracer",
     "is_enabled",
     "kernel_region",
     "kernel_totals",
+    "merge_jsonl",
+    "merge_records",
     "model_vs_measured",
     "paper_label",
     "read_jsonl",

@@ -1,0 +1,98 @@
+"""Cross-process span merge: fold JSONL span records from many processes.
+
+The process-level rank backend (:mod:`repro.hpc.procranks`) times its work
+in *worker* processes, where the parent's tracer does not exist.  Workers
+publish per-phase timings through the shared timing slab; the parent turns
+them into span *records* (the stable :class:`~repro.obs.sinks.JsonlSink`
+schema) via ``ProcRankCluster.span_records()``.  This module merges any
+number of record streams — JSONL files written by per-process sinks, or
+in-memory record lists — into one :class:`~repro.obs.sinks.InMemoryAggregator`
+so the ordinary reporting path (:func:`repro.obs.render_tree`,
+``--profile``) shows a single tree spanning every process.
+
+Self-time cannot be carried per record (a record stream has no object
+identity linking a parent span instance to its children), so it is
+recomputed structurally after folding: a path's self-seconds are its total
+seconds minus the summed seconds of its direct child paths.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Iterable, TextIO
+
+from .sinks import AggregatedNode, InMemoryAggregator, read_jsonl
+
+__all__ = ["fold_record", "merge_jsonl", "merge_records"]
+
+
+def fold_record(agg: InMemoryAggregator, record: dict[str, Any]) -> AggregatedNode:
+    """Fold one span record (JSONL schema) into the aggregator.
+
+    Counts a call, accumulates duration and counters under the record's
+    tree path.  ``self_seconds`` is left untouched — call
+    :func:`merge_records` (which finishes with a structural self-time
+    pass) rather than folding records one by one unless self-time is
+    irrelevant to the consumer.
+    """
+    path = tuple(record["path"])
+    with agg._lock:
+        node = agg._nodes.get(path)
+        if node is None:
+            node = agg._nodes[path] = AggregatedNode(path)
+        node.calls += 1
+        node.seconds += float(record.get("dur", 0.0))
+        for key, val in record.get("counters", {}).items():
+            node.counters[key] = node.counters.get(key, 0.0) + float(val)
+    return node
+
+
+def _recompute_self_seconds(agg: InMemoryAggregator) -> None:
+    """self = total − direct children, over the aggregated path forest."""
+    with agg._lock:
+        children_sum: dict[tuple[str, ...], float] = {}
+        for path, node in agg._nodes.items():
+            if len(path) > 1:
+                parent = path[:-1]
+                children_sum[parent] = children_sum.get(parent, 0.0) + node.seconds
+        for path, node in agg._nodes.items():
+            node.self_seconds = node.seconds - children_sum.get(path, 0.0)
+
+
+def merge_records(
+    records: Iterable[dict[str, Any]],
+    agg: InMemoryAggregator | None = None,
+) -> InMemoryAggregator:
+    """Merge span records into ``agg`` (a fresh aggregator by default).
+
+    Records may come from any number of processes; identical paths fold
+    together exactly as same-process spans would in the live tracer.
+    Returns the aggregator with self-seconds recomputed structurally.
+    """
+    if agg is None:
+        agg = InMemoryAggregator()
+    roots = 0
+    for record in records:
+        if len(record["path"]) == 1:
+            roots += 1
+        fold_record(agg, record)
+    with agg._lock:
+        agg.roots_seen += roots
+    _recompute_self_seconds(agg)
+    return agg
+
+
+def merge_jsonl(
+    *sources: str | os.PathLike[str] | TextIO,
+    agg: InMemoryAggregator | None = None,
+) -> InMemoryAggregator:
+    """Merge one or more :class:`JsonlSink` files into a single aggregator.
+
+    The cross-process entry point: pass the parent's trace file plus every
+    worker's, get back one aggregator whose tree spans all of them.
+    """
+    if agg is None:
+        agg = InMemoryAggregator()
+    for source in sources:
+        merge_records(read_jsonl(source), agg=agg)
+    return agg

@@ -44,13 +44,19 @@ class SliceContext:
     ``slice_iterations`` is the scheduler's time-slice budget (None =
     run to completion); ``iterations_done`` and ``resume_from`` carry a
     preempted job's progress; ``checkpoint_path`` is where a sliceable
-    runner must write its resumable state.
+    runner must write its resumable state.  ``backend``/``ranks`` select
+    the execution substrate for rank-aware runners (``serial`` — the
+    golden reference — or a ``virtual``/``proc`` cluster of ``ranks``
+    ranks); they come from the scheduler policy, not the job spec, so
+    job identities (cache keys) are backend-independent.
     """
 
     slice_iterations: int | None = None
     iterations_done: int = 0
     resume_from: str | None = None
     checkpoint_path: str | None = None
+    backend: str = "serial"
+    ranks: int = 1
 
 
 @dataclass(frozen=True)
@@ -91,7 +97,11 @@ def run_slice(spec: JobSpec, ctx: SliceContext) -> SliceOutcome:
 
 # ---------------------------------------------------------------------------
 def _build_scf_calc(
-    spec: SCFJobSpec | BandsJobSpec, max_iterations: int, checkpoint: str | None
+    spec: SCFJobSpec | BandsJobSpec,
+    max_iterations: int,
+    checkpoint: str | None,
+    backend: str = "serial",
+    ranks: int = 1,
 ) -> Any:
     """DFTCalculation for a library-molecule spec (shared scf/bands)."""
     from repro.atoms.pseudo import AtomicConfiguration
@@ -109,6 +119,8 @@ def _build_scf_calc(
         checkpoint_path=checkpoint,
         checkpoint_every=1,
         checkpoint_metadata=spec.to_dict() if checkpoint else None,
+        backend=backend,
+        nranks=max(1, int(ranks)),
     )
     return DFTCalculation(
         config,
@@ -148,9 +160,11 @@ def _run_scf(spec: JobSpec, ctx: SliceContext) -> SliceOutcome:
     else:
         cap = spec.max_scf
     calc = _build_scf_calc(
-        spec, cap, ctx.checkpoint_path if sliced else None
+        spec, cap, ctx.checkpoint_path if sliced else None,
+        backend=ctx.backend, ranks=ctx.ranks,
     )
-    res = calc.run(resume_from=ctx.resume_from)
+    with calc:  # tears down proc-backend worker fleets on exit
+        res = calc.run(resume_from=ctx.resume_from)
     if res.converged or cap >= spec.max_scf:
         payload = _scf_payload(res)
         payload["sliced"] = bool(sliced)
@@ -169,8 +183,11 @@ def _run_bands(spec: JobSpec, ctx: SliceContext) -> SliceOutcome:
     assert isinstance(spec, BandsJobSpec)
     from repro.core import band_structure, kpath
 
-    calc = _build_scf_calc(spec, spec.max_scf, None)
-    res = calc.run()
+    calc = _build_scf_calc(
+        spec, spec.max_scf, None, backend=ctx.backend, ranks=ctx.ranks
+    )
+    with calc:
+        res = calc.run()
     path = kpath(spec.k_start, spec.k_end, spec.n_kpoints)
     bands = band_structure(calc.mesh, res, path, nbands=spec.nbands)
     payload = _scf_payload(res)

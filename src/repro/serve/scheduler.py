@@ -43,12 +43,19 @@ class SchedulerPolicy:
     total_ranks: int = 8
     #: driver iterations per slice for sliceable kinds (None = no slicing)
     slice_iterations: int | None = None
+    #: execution substrate for rank-aware runners: "serial" (golden
+    #: reference), "virtual" (metered in-process ranks) or "proc"
+    #: (real shared-memory rank processes).  Policy-level, not part of
+    #: job specs, so cache keys stay backend-independent.
+    backend: str = "serial"
 
     def __post_init__(self) -> None:
         if self.total_ranks < 1:
             raise ValueError("total_ranks must be >= 1")
         if self.slice_iterations is not None and self.slice_iterations < 1:
             raise ValueError("slice_iterations must be >= 1 (or None)")
+        if self.backend not in ("serial", "virtual", "proc"):
+            raise ValueError(f"unknown backend {self.backend!r}")
 
 
 class RankBudget:
@@ -153,6 +160,8 @@ class Scheduler:
             iterations_done=job.iterations_done,
             resume_from=job.checkpoint,
             checkpoint_path=checkpoint,
+            backend=self.policy.backend,
+            ranks=max(1, int(getattr(job.spec, "ranks", 1))),
         )
 
     def release(self, job: Job) -> None:

@@ -25,6 +25,9 @@ R011      broad ``except Exception`` / ``except BaseException`` / bare
 R012      ``.astype`` casts of loop-invariant data inside loops in the
           numerical core, where the batched subspace engine's
           single-cast mirrors belong
+R017      ``SharedMemory`` segment creation/attachment outside the
+          ``repro/hpc/procranks`` arena, whose finalizer-backed
+          lifecycle is the one sanctioned leak-proof owner
 ========  ==========================================================
 
 The concurrency-safety rules R013–R016 (unlocked shared-state mutation,
@@ -77,6 +80,7 @@ __all__ = [
     "SlowScatterOutsideFem",
     "BroadExceptionHandler",
     "AstypeInsideLoop",
+    "SharedMemoryOutsideArena",
 ]
 
 
@@ -859,6 +863,52 @@ class BroadExceptionHandler(Rule):
                 "and real failures alike; catch the specific exception or "
                 "let RetryPolicy handle it",
             )
+
+
+# ----------------------------------------------------------------------------
+@register
+class SharedMemoryOutsideArena(Rule):
+    """R017: raw shared-memory segments outside the procranks arena.
+
+    POSIX shared memory has no owner once the creating process dies: a
+    segment created ad hoc and not unlinked survives in ``/dev/shm`` until
+    reboot, and a forked child that *unregisters* a name strips it from the
+    parent's (fork-shared) resource tracker so the parent's unlink then
+    fails.  :class:`repro.hpc.procranks.SharedArena` is the one sanctioned
+    owner — it pairs every create with a ``weakref.finalize`` unlink and
+    handles the fork-shared-tracker protocol, and the leak-guard tests
+    enforce it.  Direct ``SharedMemory(...)`` construction (or a
+    ``ShareableList``) anywhere else bypasses that lifecycle.
+    """
+
+    rule_id = "R017"
+    severity = "error"
+    description = (
+        "multiprocessing SharedMemory/ShareableList constructed outside "
+        "repro/hpc/procranks; allocate through SharedArena"
+    )
+    path_excludes = ("repro/hpc/procranks/",)
+
+    _CTORS = frozenset({"SharedMemory", "ShareableList"})
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted is None:
+                continue
+            leaf = dotted.rsplit(".", 1)[-1]
+            if leaf in self._CTORS:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"{dotted}(...) creates a raw shared-memory segment "
+                    "outside repro/hpc/procranks; allocate through "
+                    "SharedArena (finalizer-backed unlink, fork-shared "
+                    "resource-tracker protocol) so segments cannot leak "
+                    "into /dev/shm",
+                )
 
 
 def _data_root(expr: ast.AST) -> str | None:

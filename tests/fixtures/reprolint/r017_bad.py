@@ -1,0 +1,20 @@
+"""R017 fixture: raw shared-memory segments outside the procranks arena."""
+
+from multiprocessing import shared_memory
+from multiprocessing.shared_memory import ShareableList, SharedMemory
+
+import numpy as np
+
+
+def leaky_scratch(nbytes):
+    seg = SharedMemory(create=True, size=nbytes)  # expect: R017
+    return seg
+
+
+def attach_by_name(name):
+    seg = shared_memory.SharedMemory(name=name)  # expect: R017
+    return np.frombuffer(seg.buf, dtype=np.uint8)
+
+
+def shared_list(values):
+    return ShareableList(values)  # expect: R017

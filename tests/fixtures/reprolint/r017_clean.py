@@ -1,0 +1,23 @@
+"""R017 clean fixture: segments go through the SharedArena lifecycle."""
+
+import numpy as np
+
+from repro.hpc.procranks import SharedArena
+
+
+def arena_scratch(nnodes, width):
+    with SharedArena(create=True) as arena:
+        view = arena.create("x", (nnodes, width), np.float64)
+        view[:] = 1.0
+        return view.sum()
+
+
+def attach_view(uid, nnodes, width):
+    arena = SharedArena(uid=uid, create=False)
+    return arena.attach("x", (nnodes, width), np.float64)
+
+
+def name_reference_not_a_call(seg):
+    from multiprocessing.shared_memory import SharedMemory
+
+    return isinstance(seg, SharedMemory)

@@ -1,0 +1,389 @@
+"""Process-level rank backend: bitwise parity, leaks, overlap, calibration.
+
+The contract under test (DESIGN.md sec 14): :class:`ProcRankCluster` is the
+:class:`VirtualCluster` protocol executed by real forked rank processes
+over shared memory, and it is *bitwise* equal to the virtual backend at
+the same partition — overlap schedule on or off — while every shared
+segment is reclaimed on normal exit, on exceptions, and after a worker is
+killed mid-fleet.
+"""
+
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from repro.fem.assembly import CellStiffness
+from repro.fem.mesh import uniform_mesh
+from repro.hpc.cluster import VirtualCluster
+from repro.hpc.perfmodel import (
+    MeasuredOverlap,
+    ModelOptions,
+    calibrate_overlap,
+    measured_overlap_residual,
+)
+from repro.hpc.procranks import ProcRankCluster, SharedArena
+from repro.hpc.procranks.cluster import overlap_from_env
+from repro.obs import InMemoryAggregator, merge_records
+from repro.resilience import ResilienceError
+from repro.tools import sanitize
+
+
+def _mesh(cells=3, degree=3):
+    return uniform_mesh((4.0,) * 3, (cells,) * 3, degree=degree)
+
+
+# ---------------------------------------------------------------------------
+# bitwise parity with the virtual cluster
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("nranks", [1, 2, 4])
+@pytest.mark.parametrize("overlap", [True, False])
+def test_apply_bitwise_matches_virtual(nranks, overlap):
+    mesh = _mesh()
+    x = np.random.default_rng(0).normal(size=(mesh.nnodes, 3))
+    vc = VirtualCluster(mesh, nranks)
+    ref = vc.apply_stiffness(x)
+    ref1d = vc.apply_stiffness(x[:, 0])  # B=1 GEMMs round differently
+    with ProcRankCluster(mesh, nranks, overlap=overlap) as pc:
+        y = pc.apply_stiffness(x)
+        y1d = pc.apply_stiffness(x[:, 0])
+    assert np.array_equal(y, ref)  # bitwise, not allclose
+    assert np.array_equal(y1d, ref1d)
+    assert y1d.ndim == 1  # 1-D in, 1-D out (squeeze contract)
+
+
+def test_overlap_schedules_bitwise_equal():
+    mesh = _mesh()
+    x = np.random.default_rng(1).normal(size=(mesh.nnodes, 5))
+    with ProcRankCluster(mesh, 3, overlap=True) as on:
+        y_on = on.apply_stiffness(x)
+    with ProcRankCluster(mesh, 3, overlap=False) as off:
+        y_off = off.apply_stiffness(x)
+    assert np.array_equal(y_on, y_off)
+
+
+def test_fp32_halo_bitwise_matches_virtual():
+    """The fp32 boundary rounding happens at the same protocol point."""
+    mesh = _mesh()
+    x = np.random.default_rng(2).normal(size=(mesh.nnodes, 2))
+    ref = VirtualCluster(mesh, 4, fp32_halo=True).apply_stiffness(x)
+    with ProcRankCluster(mesh, 4, fp32_halo=True) as pc:
+        y = pc.apply_stiffness(x)
+        traffic = pc.traffic.p2p_bytes
+    assert np.array_equal(y, ref)
+    vc = VirtualCluster(mesh, 4, fp32_halo=True)
+    vc.apply_stiffness(x)
+    assert traffic == vc.traffic.p2p_bytes  # identical metering
+
+
+def test_traffic_metering_matches_virtual():
+    mesh = _mesh()
+    x = np.random.default_rng(3).normal(size=(mesh.nnodes, 4))
+    vc = VirtualCluster(mesh, 4)
+    vc.apply_stiffness(x)
+    with ProcRankCluster(mesh, 4, overlap=True) as pc:
+        pc.apply_stiffness(x)
+        assert pc.traffic.p2p_bytes == vc.traffic.p2p_bytes
+        assert pc.traffic.p2p_messages == vc.traffic.p2p_messages
+
+
+def test_allreduce_roundtrip_and_metering():
+    mesh = _mesh(cells=2, degree=2)
+    a = np.random.default_rng(4).normal(size=(7, 5))
+    vc = VirtualCluster(mesh, 4)
+    expected = vc.allreduce(a)
+    with ProcRankCluster(mesh, 4) as pc:
+        out = pc.allreduce(a)
+        assert np.array_equal(out, expected)
+        assert out.shape == a.shape and out.dtype == a.dtype
+        assert pc.traffic.allreduce_calls == 1
+        assert pc.traffic.allreduce_bytes == vc.traffic.allreduce_bytes
+
+
+# ---------------------------------------------------------------------------
+# arena growth (remap) and fallback paths
+# ---------------------------------------------------------------------------
+def test_remap_grows_block_capacity_bitwise():
+    mesh = _mesh()
+    x = np.random.default_rng(5).normal(size=(mesh.nnodes, 12))
+    vc = VirtualCluster(mesh, 2)
+    ref = vc.apply_stiffness(x)
+    ref2 = vc.apply_stiffness(x[:, :2])  # B=2 GEMMs round differently
+    with ProcRankCluster(mesh, 2, block_capacity=2) as pc:
+        assert np.array_equal(pc.apply_stiffness(x[:, :2]), ref2)
+        y = pc.apply_stiffness(x)  # B=12 > capacity: remap mid-flight
+        assert np.array_equal(y, ref)
+        assert pc._gen >= 1  # a new segment generation was minted
+        assert np.array_equal(pc.apply_stiffness(x), ref)  # still live
+        uid = pc.arena.uid
+    assert SharedArena.live_segment_names(uid) == []  # old gens dropped too
+
+
+def test_remap_grows_allreduce_capacity():
+    mesh = _mesh(cells=2, degree=2)
+    a = np.random.default_rng(6).normal(size=(1024,))
+    with ProcRankCluster(mesh, 3, allreduce_capacity=64) as pc:
+        out = pc.allreduce(a)  # nbytes > capacity: remap mid-flight
+        assert pc._gen >= 1
+        assert np.array_equal(out, VirtualCluster(mesh, 3).allreduce(a))
+
+
+def test_unsupported_dtype_falls_back_in_process():
+    """Complex blocks take the in-process protocol (bitwise by shared code)."""
+    mesh = _mesh(cells=2, degree=2)
+    rng = np.random.default_rng(7)
+    x = rng.normal(size=(mesh.nnodes, 2)) + 1j * rng.normal(size=(mesh.nnodes, 2))
+    ref = VirtualCluster(mesh, 2).apply_stiffness(x)
+    with ProcRankCluster(mesh, 2) as pc:
+        y = pc.apply_stiffness(x)
+    assert np.array_equal(y, ref)
+
+
+# ---------------------------------------------------------------------------
+# leak guard: /dev/shm must be clean however the fleet dies
+# ---------------------------------------------------------------------------
+def test_leak_guard_normal_exit():
+    mesh = _mesh(cells=2, degree=2)
+    with ProcRankCluster(mesh, 2) as pc:
+        pc.apply_stiffness(np.ones((mesh.nnodes, 2)))
+        uid = pc.arena.uid
+        assert SharedArena.live_segment_names(uid)  # live while open
+    assert SharedArena.live_segment_names(uid) == []
+
+
+def test_leak_guard_exception_unwind():
+    mesh = _mesh(cells=2, degree=2)
+    uid = None
+    with pytest.raises(RuntimeError, match="mid-use"):
+        with ProcRankCluster(mesh, 2) as pc:
+            pc.apply_stiffness(np.ones((mesh.nnodes, 2)))
+            uid = pc.arena.uid
+            raise RuntimeError("mid-use")
+    assert SharedArena.live_segment_names(uid) == []
+
+
+def test_leak_guard_killed_worker():
+    mesh = _mesh(cells=2, degree=2)
+    pc = ProcRankCluster(mesh, 2)
+    try:
+        uid = pc.arena.uid
+        pc._workers[0].terminate()
+        pc._workers[0].join(timeout=10.0)
+        with pytest.raises(ResilienceError, match="died|unresponsive|failed"):
+            pc.apply_stiffness(np.ones((mesh.nnodes, 2)))
+    finally:
+        pc.close()
+    assert SharedArena.live_segment_names(uid) == []
+    assert not any(p.is_alive() for p in pc._workers)
+
+
+def test_arena_finalizer_backstop():
+    """Even an un-closed arena unlinks its segments at GC."""
+    arena = SharedArena()
+    arena.create("probe", (16,), np.float64)
+    uid = arena.uid
+    assert SharedArena.live_segment_names(uid)
+    del arena  # finalizer fires
+    assert SharedArena.live_segment_names(uid) == []
+
+
+def test_arena_attach_requires_uid_and_no_create():
+    with pytest.raises(ValueError):
+        SharedArena(create=False)
+    with SharedArena() as owner:
+        owner.create("t", (4,), np.float64)[...] = 3.0
+        ro = SharedArena(uid=owner.uid, create=False)
+        view = ro.attach("t", (4,), np.float64)
+        assert np.array_equal(view, [3.0] * 4)
+        with pytest.raises(RuntimeError):
+            ro.create("t2", (4,), np.float64)
+        ro.close()  # attached side never unlinks
+        assert SharedArena.live_segment_names(owner.uid)
+
+
+# ---------------------------------------------------------------------------
+# measured phases, span merge, calibration
+# ---------------------------------------------------------------------------
+def test_phase_report_populated():
+    mesh = _mesh()
+    with ProcRankCluster(mesh, 2, overlap=True) as pc:
+        for _ in range(3):
+            pc.apply_stiffness(np.ones((mesh.nnodes, 4)))
+        rep = pc.phase_report()
+    assert rep["applies"] == 3
+    assert rep["nranks"] == 2 and rep["overlap"] is True
+    assert rep["apply_total_s"] > 0.0
+    assert 0.0 <= rep["halo_wait_fraction"] <= 1.0
+    for name in ("boundary_s", "interior_s", "halo_wait_s", "recv_s"):
+        assert len(rep["per_rank"][name]) == 2
+        assert all(v >= 0.0 for v in rep["per_rank"][name])
+
+
+def test_span_records_merge_into_one_tree():
+    mesh = _mesh()
+    with ProcRankCluster(mesh, 2) as pc:
+        pc.apply_stiffness(np.ones((mesh.nnodes, 2)))
+        records = pc.span_records()
+    agg = InMemoryAggregator()
+    merge_records(records, agg)
+    root = agg.get("ProcRanks")
+    assert root is not None and agg.roots_seen == 1
+    rank_total = sum(
+        agg.get("ProcRanks", f"rank{r}").seconds for r in range(2)
+    )
+    # structural self-time: the root's self is total minus its children
+    assert root.self_seconds == pytest.approx(root.seconds - rank_total)
+    leaves = {"boundary", "interior", "halo_wait", "recv"}
+    for r in range(2):
+        for leaf in leaves:
+            assert agg.get("ProcRanks", f"rank{r}", leaf) is not None
+    assert root.counters["nranks"] == 2.0
+
+
+def test_measured_overlap_residual_units():
+    # perfectly hidden: overlapped == max(compute, comm) -> residual 0
+    assert measured_overlap_residual(2.0, 1.0, 2.0) == 0.0
+    # fully serial: overlapped == compute + comm -> residual 1
+    assert measured_overlap_residual(2.0, 1.0, 3.0) == 1.0
+    # halfway
+    assert measured_overlap_residual(2.0, 1.0, 2.5) == pytest.approx(0.5)
+    # clipped to [0, 1] and safe when nothing can be hidden
+    assert measured_overlap_residual(2.0, 1.0, 1.0) == 0.0
+    assert measured_overlap_residual(2.0, 1.0, 9.0) == 1.0
+    assert measured_overlap_residual(2.0, 0.0, 2.0) == 0.0
+
+
+def test_calibrate_overlap_normalizes_per_apply_per_rank():
+    phase_off = {
+        "boundary_s": 1.0, "interior_s": 3.0, "halo_wait_s": 1.5,
+        "recv_s": 0.5, "apply_total_s": 6.0, "applies": 2, "nranks": 2,
+    }
+    phase_on = dict(phase_off, apply_total_s=5.0)
+    cal = calibrate_overlap(phase_on, phase_off)
+    assert isinstance(cal, MeasuredOverlap)
+    assert cal.compute_s == pytest.approx(1.0)  # (1+3)/(2*2)
+    assert cal.comm_s == pytest.approx(0.5)  # (1.5+0.5)/(2*2)
+    assert cal.overlapped_s == pytest.approx(1.25)  # 5/(2*2)
+    assert cal.residual == pytest.approx(0.5)  # (1.25-1)/0.5
+    opts = ModelOptions(overlap_residual=cal.residual)
+    assert opts.overlap_residual == pytest.approx(0.5)
+
+
+def test_overlap_from_env(monkeypatch):
+    monkeypatch.delenv("REPRO_OVERLAP", raising=False)
+    assert overlap_from_env() is True
+    assert overlap_from_env(default=False) is False
+    for off in ("0", "false", "OFF", " no "):
+        monkeypatch.setenv("REPRO_OVERLAP", off)
+        assert overlap_from_env() is False
+    monkeypatch.setenv("REPRO_OVERLAP", "1")
+    assert overlap_from_env() is True
+
+
+def test_env_knob_selects_schedule(monkeypatch):
+    mesh = _mesh(cells=2, degree=2)
+    monkeypatch.setenv("REPRO_OVERLAP", "0")
+    with ProcRankCluster(mesh, 2) as pc:
+        assert pc.overlap is False
+    monkeypatch.delenv("REPRO_OVERLAP")
+    with ProcRankCluster(mesh, 2) as pc:
+        assert pc.overlap is True
+
+
+# ---------------------------------------------------------------------------
+# SCF-level parity and the sanitizer
+# ---------------------------------------------------------------------------
+def _scf_energy(backend, nranks, max_iterations=6):
+    from repro.atoms.pseudo import AtomicConfiguration
+    from repro.core import DFTCalculation, SCFOptions
+
+    config = AtomicConfiguration(["H", "H"], [[0.0, 0.0, 0.0], [1.4, 0.0, 0.0]])
+    calc = DFTCalculation(
+        config, padding=6.0, cells_per_axis=3, degree=3, nstates=4,
+        options=SCFOptions(
+            max_iterations=max_iterations, backend=backend, nranks=nranks
+        ),
+    )
+    with calc:
+        res = calc.run()
+    return float(res.energy)
+
+
+@pytest.mark.parametrize("overlap_env", ["1", "0"])
+def test_scf_bitwise_proc_vs_virtual(monkeypatch, overlap_env):
+    monkeypatch.setenv("REPRO_OVERLAP", overlap_env)
+    e_virtual = _scf_energy("virtual", 2)
+    e_proc = _scf_energy("proc", 2)
+    assert e_proc == e_virtual  # bitwise across backends and schedules
+    assert SharedArena.live_segment_names() == []
+
+
+def test_scf_partition_invariance_across_rank_counts():
+    """Across P the energies agree to discretization noise (not bitwise:
+    different partitions legitimately round the owner-sum differently)."""
+    energies = [_scf_energy("proc", p) for p in (1, 2)]
+    assert energies[0] == pytest.approx(energies[1], abs=1e-9)
+    assert SharedArena.live_segment_names() == []
+
+
+def test_sanitizer_clean_on_proc_apply():
+    """REPRO_SANITIZE write windows see no races in a multi-rank run."""
+    mesh = _mesh()
+    sanitize.arm()
+    try:
+        with ProcRankCluster(mesh, 2, overlap=True) as pc:
+            x = np.random.default_rng(8).normal(size=(mesh.nnodes, 4))
+            for _ in range(2):
+                pc.apply_stiffness(x)
+            pc.allreduce(np.ones(32))
+        # windows all closed: versions advanced, none left open
+        san = sanitize.state()
+        assert san is not None
+        assert not san._windows
+    finally:
+        sanitize.disarm()
+
+
+# ---------------------------------------------------------------------------
+# the serve / CLI surface
+# ---------------------------------------------------------------------------
+def test_scheduler_policy_carries_backend(tmp_path):
+    from repro.serve.jobs import ProbeJobSpec
+    from repro.serve.queue import Job
+    from repro.serve.scheduler import Scheduler, SchedulerPolicy
+
+    with pytest.raises(ValueError, match="backend"):
+        SchedulerPolicy(backend="mpi")
+    policy = SchedulerPolicy(total_ranks=4, backend="proc")
+    sched = Scheduler(policy, tmp_path)
+    job = Job(job_id=1, spec=ProbeJobSpec(size=8, iters=1, seed=0))
+    sched.submit(job)
+    dispatched = sched.next_dispatch(now=0.0)
+    assert dispatched is job
+    ctx = sched.slice_context(job)
+    assert ctx.backend == "proc"
+    assert ctx.ranks == getattr(job.spec, "ranks", 1)
+    sched.release(job)
+
+
+def test_cli_info_reports_backends(capsys):
+    from repro.__main__ import main
+
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "backends:" in out
+    assert "proc" in out and "virtual" in out and "serial" in out
+    assert f"host cores: {os.cpu_count() or 1}" in out
+
+
+def test_cli_scf_proc_backend(capsys):
+    from repro.__main__ import main
+
+    rc = main([
+        "scf", "H2", "--degree", "2", "--cells", "3",
+        "--max-scf", "3", "--backend", "proc", "--ranks", "2",
+    ])
+    assert rc in (0, 1)  # 3 iterations won't converge; must not crash
+    assert "H2" in capsys.readouterr().out
+    assert SharedArena.live_segment_names() == []
