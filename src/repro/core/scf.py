@@ -87,7 +87,19 @@ class SCFOptions:
     temperature: float = 1e-3  #: k_B T smearing (Ha)
     cheb_degree: int = 15
     n_init_passes: int = 5  #: filtering passes in the first SCF step
-    block_size: int = 64  #: CF / CholGS / RR block size (the paper's B_f)
+    #: CF / CholGS / RR block size (the paper's B_f).  None (the default)
+    #: means "unset": :meth:`resolve` may fill it from the host's tuned
+    #: profile, else it falls back to 64.  An explicit value always wins.
+    block_size: int | None = None
+    #: CholGS/RR block size; None falls back to ``block_size`` (tunable
+    #: independently because the subspace GEMM shapes differ from CF's)
+    subspace_block_size: int | None = None
+    #: force the fem ScatterMap engine ("csr"/"slices"); None = automatic
+    #: (or tuned).  Both engines are bitwise-identical by construction.
+    scatter_engine: str | None = None
+    #: pick up the per-host tuned profile for any knob left unset (see
+    #: :mod:`repro.tune`); ``REPRO_TUNE=0`` overrides this globally
+    autotune: bool = True
     mixed_precision: bool = False
     mixing_alpha: float = 0.3
     mixing_history: int = 6
@@ -128,6 +140,64 @@ class SCFOptions:
     nranks: int = 2
     #: FP32 halo exchange on the distributed backends (paper Sec 5.4.2)
     fp32_halo: bool = False
+
+    #: the knobs a tuned profile may fill (when left unset here)
+    _TUNABLE = ("block_size", "subspace_block_size", "scatter_engine",
+                "num_threads")
+
+    def __post_init__(self) -> None:
+        # Record which tunable knobs the caller left unset *before*
+        # defaulting them: resolve() only ever fills those, so an explicit
+        # user value always beats the profile.
+        unset = tuple(k for k in self._TUNABLE if getattr(self, k) is None)
+        if self.block_size is None:
+            self.block_size = 64
+        self._tunable_unset = unset
+        self._resolved = False
+
+    @property
+    def subspace_block(self) -> int:
+        """Effective CholGS/RR block (``subspace_block_size`` or B_f)."""
+        if self.subspace_block_size is not None:
+            return self.subspace_block_size
+        return self.block_size
+
+    def resolve(self, profile) -> "SCFOptions":
+        """Fill unset schedule knobs from a tuned profile.
+
+        ``profile`` is a :class:`repro.tune.TunedProfile` (or None, which
+        is a no-op).  Only knobs the user did not set explicitly are
+        filled; ``num_threads`` additionally defers to an explicit
+        ``REPRO_NUM_THREADS`` environment value.  Profiles change the
+        execution schedule, never the math — every fillable knob is
+        bitwise-neutral (see DESIGN.md sec 15).
+        """
+        import dataclasses
+
+        if profile is None:
+            self._resolved = True
+            return self
+        knobs = dict(getattr(profile, "knobs", {}) or {})
+        env_threads = os.environ.get("REPRO_NUM_THREADS", "").strip()
+        filled = {}
+        for name in self._tunable_unset:
+            value = knobs.get(name)
+            if value is None:
+                continue
+            if name == "num_threads" and env_threads:
+                continue  # the explicit environment override wins
+            filled[name] = value
+        if not filled:
+            self._resolved = True
+            return self
+        out = dataclasses.replace(self, **filled)
+        # replace() re-runs __post_init__ with already-defaulted values;
+        # restore the unset record for knobs the profile did not cover
+        out._tunable_unset = tuple(
+            k for k in self._tunable_unset if k not in filled
+        )
+        out._resolved = True
+        return out
 
 
 @dataclass
@@ -176,6 +246,12 @@ class SCFDriver:
         self.nstates = int(nstates)
         self.spin_polarized = bool(spin_polarized)
         self.options = options or SCFOptions()
+        if self.options.autotune and not getattr(self.options, "_resolved", False):
+            from repro.tune.profile import load_host_profile
+
+            # fills only knobs left unset; no-op (and no profile I/O)
+            # under REPRO_TUNE=0
+            self.options = self.options.resolve(load_host_profile())
         self.ledger = ledger
         if kpoints is None:
             kpoints = [((0.0, 0.0, 0.0), 1.0)]
@@ -714,7 +790,7 @@ class SCFDriver:
             if np.issubdtype(op.dtype, np.complexfloating):
                 X = X + 1j * rng.standard_normal((n, self.nstates))
             X = np.asarray(X, dtype=op.dtype)
-            X = cholesky_orthonormalize(X, block_size=opts.block_size)
+            X = cholesky_orthonormalize(X, block_size=opts.subspace_block)
             # crude initial window: amplify the lower third of the spectrum
             d = op.diagonal()
             a0 = float(np.min(d)) - 1.0
@@ -748,7 +824,7 @@ class SCFDriver:
                     X,
                     HW,
                     op=op,
-                    block_size=opts.block_size,
+                    block_size=opts.subspace_block,
                     mixed_precision=opts.mixed_precision,
                     ledger=self.ledger,
                 )
@@ -756,14 +832,14 @@ class SCFDriver:
                 hx0 = None
                 X = cholesky_orthonormalize(
                     X,
-                    block_size=opts.block_size,
+                    block_size=opts.subspace_block,
                     mixed_precision=opts.mixed_precision,
                     ledger=self.ledger,
                 )
                 evals, X = rayleigh_ritz(
                     op,
                     X,
-                    block_size=opts.block_size,
+                    block_size=opts.subspace_block,
                     mixed_precision=opts.mixed_precision,
                     ledger=self.ledger,
                 )

@@ -109,7 +109,8 @@ class CellStiffness:
             self._smap = mesh.scatter_map
         else:
             self._smap = ScatterMap(
-                mesh.conn, mesh.nnodes, weights=np.conj(self.phases).ravel()
+                mesh.conn, mesh.nnodes, weights=np.conj(self.phases).ravel(),
+                force_engine=mesh.scatter_engine,
             )
 
     @property

@@ -57,6 +57,9 @@ class SliceContext:
     checkpoint_path: str | None = None
     backend: str = "serial"
     ranks: int = 1
+    #: pick up the host's tuned profile for driver options (policy-level
+    #: like ``backend`` — never part of the job's content address)
+    tuned: bool = True
 
 
 @dataclass(frozen=True)
@@ -102,6 +105,7 @@ def _build_scf_calc(
     checkpoint: str | None,
     backend: str = "serial",
     ranks: int = 1,
+    tuned: bool = True,
 ) -> Any:
     """DFTCalculation for a library-molecule spec (shared scf/bands)."""
     from repro.atoms.pseudo import AtomicConfiguration
@@ -121,6 +125,7 @@ def _build_scf_calc(
         checkpoint_metadata=spec.to_dict() if checkpoint else None,
         backend=backend,
         nranks=max(1, int(ranks)),
+        autotune=tuned,
     )
     return DFTCalculation(
         config,
@@ -161,7 +166,7 @@ def _run_scf(spec: JobSpec, ctx: SliceContext) -> SliceOutcome:
         cap = spec.max_scf
     calc = _build_scf_calc(
         spec, cap, ctx.checkpoint_path if sliced else None,
-        backend=ctx.backend, ranks=ctx.ranks,
+        backend=ctx.backend, ranks=ctx.ranks, tuned=ctx.tuned,
     )
     with calc:  # tears down proc-backend worker fleets on exit
         res = calc.run(resume_from=ctx.resume_from)
@@ -184,7 +189,8 @@ def _run_bands(spec: JobSpec, ctx: SliceContext) -> SliceOutcome:
     from repro.core import band_structure, kpath
 
     calc = _build_scf_calc(
-        spec, spec.max_scf, None, backend=ctx.backend, ranks=ctx.ranks
+        spec, spec.max_scf, None,
+        backend=ctx.backend, ranks=ctx.ranks, tuned=ctx.tuned,
     )
     with calc:
         res = calc.run()

@@ -48,6 +48,12 @@ class SchedulerPolicy:
     #: (real shared-memory rank processes).  Policy-level, not part of
     #: job specs, so cache keys stay backend-independent.
     backend: str = "serial"
+    #: resolve the per-host tuned profile (:mod:`repro.tune`) for job
+    #: options.  Like ``backend``, this is policy-level rather than part
+    #: of the spec: tuning changes the schedule, never the result, so a
+    #: job's content address (cache key) must not depend on it.
+    #: ``REPRO_TUNE=0`` still disables pickup globally.
+    tuned: bool = True
 
     def __post_init__(self) -> None:
         if self.total_ranks < 1:
@@ -162,6 +168,7 @@ class Scheduler:
             checkpoint_path=checkpoint,
             backend=self.policy.backend,
             ranks=max(1, int(getattr(job.spec, "ranks", 1))),
+            tuned=self.policy.tuned,
         )
 
     def release(self, job: Job) -> None:

@@ -1,0 +1,266 @@
+"""Per-host tuned-kernel profiles: versioned, checksummed, self-verifying.
+
+The autotuner (:mod:`repro.tune.sweep`) measures which kernel *schedule* —
+wavefunction block ``B_f``, scatter engine, channel thread count, subspace
+block — is fastest on this host and persists the choice as a JSON envelope
+(schema ``repro-tune-profile/1``).  :meth:`repro.core.scf.SCFOptions.resolve`
+fills any knob the user left unset from the profile; explicit user values
+always win, and ``REPRO_TUNE=0`` disables the pickup entirely (the kill
+switch is checked *before* any filesystem access, so a disabled run performs
+no profile I/O at all).
+
+The store borrows the discipline of the PR 7 result cache
+(:mod:`repro.serve.cache`):
+
+* **atomic writes** — temp file in the target directory + ``fsync`` +
+  ``os.replace``, so a crashed tuner can never leave a torn profile;
+* **self-verification** — the envelope carries a SHA-256 checksum over its
+  canonical JSON body; a tampered or truncated file is rejected
+  (:class:`ProfileError`) and treated as "no profile", never crashing the
+  caller;
+* **host fingerprinting** — cpu count + platform + BLAS vendor.  Profiles
+  are stored under a fingerprint-digest filename and a loaded profile whose
+  recorded fingerprint differs from the current host is ignored, so a
+  profile baked on one machine cannot mis-schedule another.
+
+Profiles only ever change the *schedule* (loop partitioning, engine choice,
+thread fan-out), never the math: every knob a profile may set has a
+bitwise-equivalence guarantee (see DESIGN.md sec 15), so tuned and untuned
+runs produce identical SCF energies.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import platform
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "PROFILE_SCHEMA",
+    "TUNABLE_KNOBS",
+    "ProfileError",
+    "TunedProfile",
+    "blas_vendor",
+    "default_profile_path",
+    "fingerprint_digest",
+    "host_fingerprint",
+    "load_host_profile",
+    "load_profile",
+    "profile_dir",
+    "save_profile",
+    "tuning_enabled",
+]
+
+PROFILE_SCHEMA = "repro-tune-profile/1"
+
+#: the schedule knobs a profile may set, in canonical order.  Each one is
+#: bitwise-neutral by construction (scatter engine, num_threads) or by the
+#: sweep's candidate floor (block sizes; see DESIGN.md sec 15).
+TUNABLE_KNOBS = (
+    "block_size",
+    "subspace_block_size",
+    "scatter_engine",
+    "num_threads",
+)
+
+_SCATTER_ENGINES = ("csr", "slices")
+
+
+class ProfileError(ValueError):
+    """A stored profile failed schema, checksum or knob validation."""
+
+
+# ---------------------------------------------------------------------------
+# host identity
+def blas_vendor() -> str:
+    """Short BLAS vendor string from numpy's build configuration."""
+    try:
+        info = np.show_config(mode="dicts")
+    except TypeError:  # numpy < 1.26 has no dict mode
+        info = None
+    if isinstance(info, dict):
+        dep = info.get("Build Dependencies", {}).get("blas", {})
+        name = dep.get("name")
+        if name:
+            return str(name)
+    return "unknown"
+
+
+def host_fingerprint() -> dict[str, Any]:
+    """Identity of the hardware/software the measured schedule is valid on."""
+    return {
+        "cpu_count": int(os.cpu_count() or 1),
+        "platform": f"{platform.system()}-{platform.machine()}",
+        "blas": blas_vendor(),
+    }
+
+
+def fingerprint_digest(fingerprint: dict[str, Any]) -> str:
+    """Stable short digest of a fingerprint (the profile filename key)."""
+    blob = json.dumps(fingerprint, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()[:12]
+
+
+# ---------------------------------------------------------------------------
+# the profile object
+def _validate_knobs(knobs: dict[str, Any]) -> None:
+    for name, value in knobs.items():
+        if name not in TUNABLE_KNOBS:
+            raise ProfileError(f"unknown tunable knob {name!r}")
+        if name == "scatter_engine":
+            if value not in _SCATTER_ENGINES:
+                raise ProfileError(f"unknown scatter engine {value!r}")
+        else:
+            if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+                raise ProfileError(f"knob {name}={value!r} must be an int >= 1")
+
+
+def _checksum(body: dict[str, Any]) -> str:
+    clean = {k: v for k, v in body.items() if k != "checksum"}
+    blob = json.dumps(clean, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+@dataclass(frozen=True)
+class TunedProfile:
+    """One host's measured kernel schedule plus its provenance."""
+
+    knobs: dict[str, Any]
+    fingerprint: dict[str, Any]
+    seed: int = 0
+    #: measured sweep tables (per-bucket seconds per candidate) — kept for
+    #: `repro info` reporting and the tuned>=default bench assertions
+    sweep: dict[str, Any] = field(default_factory=dict)
+    #: modeled picks on the virtual cluster (nodes, ModelOptions.block_size)
+    model: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _validate_knobs(self.knobs)
+
+    def envelope(self) -> dict[str, Any]:
+        """The checksummed on-disk JSON form."""
+        body = {
+            "schema": PROFILE_SCHEMA,
+            "fingerprint": self.fingerprint,
+            "knobs": self.knobs,
+            "seed": int(self.seed),
+            "sweep": self.sweep,
+            "model": self.model,
+        }
+        body["checksum"] = _checksum(body)
+        return body
+
+
+# ---------------------------------------------------------------------------
+# the store
+def profile_dir() -> pathlib.Path:
+    """Profile directory: ``REPRO_TUNE_DIR`` or ``~/.cache/repro/tune``."""
+    env = os.environ.get("REPRO_TUNE_DIR", "").strip()
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path.home() / ".cache" / "repro" / "tune"
+
+
+def default_profile_path(fingerprint: dict[str, Any] | None = None) -> pathlib.Path:
+    """Fingerprint-addressed path of this host's profile."""
+    fp = fingerprint if fingerprint is not None else host_fingerprint()
+    return profile_dir() / f"profile-{fingerprint_digest(fp)}.json"
+
+
+def save_profile(
+    profile: TunedProfile, path: str | pathlib.Path | None = None
+) -> pathlib.Path:
+    """Atomically persist ``profile`` (tmpfile + fsync + ``os.replace``)."""
+    target = (
+        pathlib.Path(path)
+        if path is not None
+        else default_profile_path(profile.fingerprint)
+    )
+    target.parent.mkdir(parents=True, exist_ok=True)
+    payload = json.dumps(profile.envelope(), indent=2, sort_keys=True) + "\n"
+    fd, tmp = tempfile.mkstemp(
+        dir=target.parent, prefix=target.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as f:
+            f.write(payload)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, target)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+    return target
+
+
+def load_profile(path: str | pathlib.Path) -> TunedProfile:
+    """Load and verify one profile file; raise :class:`ProfileError` if bad."""
+    p = pathlib.Path(path)
+    try:
+        envelope = json.loads(p.read_text(encoding="utf-8"))
+    except OSError as err:
+        raise ProfileError(f"unreadable profile {p}: {err}") from err
+    except json.JSONDecodeError as err:
+        raise ProfileError(f"corrupt profile {p}: {err}") from err
+    if not isinstance(envelope, dict):
+        raise ProfileError(f"profile {p} is not a JSON object")
+    if envelope.get("schema") != PROFILE_SCHEMA:
+        raise ProfileError(
+            f"profile {p} has schema {envelope.get('schema')!r}, "
+            f"expected {PROFILE_SCHEMA!r}"
+        )
+    if envelope.get("checksum") != _checksum(envelope):
+        raise ProfileError(f"profile {p} failed its checksum (tampered?)")
+    try:
+        return TunedProfile(
+            knobs=dict(envelope["knobs"]),
+            fingerprint=dict(envelope["fingerprint"]),
+            seed=int(envelope.get("seed", 0)),
+            sweep=dict(envelope.get("sweep", {})),
+            model=dict(envelope.get("model", {})),
+        )
+    except (KeyError, TypeError) as err:
+        raise ProfileError(f"profile {p} has a malformed body: {err}") from err
+
+
+# ---------------------------------------------------------------------------
+# the default pickup
+def tuning_enabled() -> bool:
+    """``REPRO_TUNE=0`` (or false/off/no) disables profile pickup."""
+    flag = os.environ.get("REPRO_TUNE", "").strip().lower()
+    return flag not in ("0", "false", "off", "no")
+
+
+def load_host_profile(
+    path: str | pathlib.Path | None = None,
+) -> TunedProfile | None:
+    """This host's tuned profile, or None.
+
+    None is returned — never an exception — when tuning is disabled, the
+    file is absent, fails verification, or was recorded on a different
+    host.  The kill switch is checked first: with ``REPRO_TUNE=0`` no
+    path is computed and no file is touched.
+    """
+    if not tuning_enabled():
+        return None
+    target = pathlib.Path(path) if path is not None else default_profile_path()
+    return _read_verified(target)
+
+
+def _read_verified(target: pathlib.Path) -> TunedProfile | None:
+    if not target.exists():
+        return None
+    try:
+        prof = load_profile(target)
+    except ProfileError:
+        return None
+    if prof.fingerprint != host_fingerprint():
+        return None
+    return prof

@@ -1,0 +1,93 @@
+"""Tier-1 schema smoke test for the committed benchmark results.
+
+Loads every ``benchmarks/results/BENCH_*.json``, validates each record
+against the ``repro-bench/1`` envelope the harness writes
+(:data:`RECORD_KEYS`, exact key set, typed fields), and pins the file
+set against ``MANIFEST.json`` — a benchmark that starts writing a new
+results file must register it, and a manifest entry whose file vanished
+fails loudly instead of silently shrinking coverage.
+"""
+
+from __future__ import annotations
+
+import datetime
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+RESULTS = REPO / "benchmarks" / "results"
+MANIFEST = RESULTS / "MANIFEST.json"
+
+
+def _load_harness():
+    spec = importlib.util.spec_from_file_location(
+        "bench_harness", REPO / "benchmarks" / "_harness.py"
+    )
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+HARNESS = _load_harness()
+
+
+def _manifest_files() -> list[str]:
+    manifest = json.loads(MANIFEST.read_text())
+    assert manifest["schema"] == "repro-bench-manifest/1"
+    return manifest["files"]
+
+
+def _result_files() -> list[pathlib.Path]:
+    return sorted(RESULTS.glob("BENCH_*.json"))
+
+
+def test_manifest_matches_results_directory_exactly():
+    on_disk = {p.name for p in _result_files()}
+    pinned = set(_manifest_files())
+    unknown = sorted(on_disk - pinned)
+    missing = sorted(pinned - on_disk)
+    assert not unknown, (
+        f"results files not in MANIFEST.json (register them): {unknown}"
+    )
+    assert not missing, (
+        f"MANIFEST.json entries with no results file: {missing}"
+    )
+
+
+def test_manifest_is_sorted_and_duplicate_free():
+    files = _manifest_files()
+    assert files == sorted(set(files))
+
+
+@pytest.mark.parametrize(
+    "path", _result_files(), ids=lambda p: p.stem.removeprefix("BENCH_")
+)
+def test_every_record_validates_repro_bench_1(path):
+    records = json.loads(path.read_text())
+    assert isinstance(records, list) and records, f"{path.name}: empty"
+    expected_name = path.stem.removeprefix("BENCH_")
+    for record in records:
+        assert tuple(record) == HARNESS.RECORD_KEYS, (
+            f"{path.name}: keys {tuple(record)} != canonical order"
+        )
+        assert record["schema"] == HARNESS.SCHEMA
+        assert record["name"] == expected_name
+        assert isinstance(record["params"], dict)
+        assert isinstance(record["metrics"], dict)
+        if record["wall_seconds"] is not None:
+            assert float(record["wall_seconds"]) >= 0.0
+        if record["git_sha"] is not None:
+            assert isinstance(record["git_sha"], str) and record["git_sha"]
+        # timestamp must be ISO-8601 and timezone-aware
+        stamp = datetime.datetime.fromisoformat(record["timestamp"])
+        assert stamp.tzinfo is not None
+
+
+def test_round_trip_through_the_harness_reader():
+    for path in _result_files():
+        name = path.stem.removeprefix("BENCH_")
+        records = HARNESS.read_results(name)
+        assert records == json.loads(path.read_text())
