@@ -1,0 +1,159 @@
+"""Family screening: warm-start reuse vs independent cold solves.
+
+Runs the same dimer-scan family twice through :class:`repro.screen.
+ScreenCampaign` over the serve runtime, with separate result caches so
+the comparison is honest (a shared cache would let the second pass
+trivially replay the first):
+
+* **cold pass** — ``seeding=False``: every member starts from the
+  superposition-of-atomic-densities guess, the baseline N-independent-
+  solves workflow.
+* **seeded pass** — anchors solve cold, every other member starts from
+  its nearest converged neighbor's density (seed artifacts harvested
+  through ``SchedulerPolicy.artifact_dir``), with the ML surrogate armed
+  as fallback.
+
+Two gates are **asserted**, not just reported:
+
+* the seeded pass saves at least 25% of the total SCF iterations;
+* every member's converged energy matches its cold-start golden value
+  to 1e-12 Ha — a seed changes the trajectory, never the fixed point.
+
+Results land in ``results/BENCH_screen.json`` via the PR 2 harness::
+
+    PYTHONPATH=src python benchmarks/bench_screen.py
+
+The tier-1 suite runs a 3-member smoke via ``main(params=...)``; the
+full 10-member scan stays behind ``pytest -m slow``.
+"""
+
+import pathlib
+import tempfile
+
+from repro.obs import Stopwatch
+from repro.screen import ScreenCampaign, dimer_family
+from repro.serve import ResultCache
+
+from _harness import write_result
+
+#: reference configuration: a 10-member H2 bond scan
+REF = {
+    "bonds": (1.15, 1.2, 1.25, 1.3, 1.35, 1.4, 1.45, 1.5, 1.55, 1.6),
+    "degree": 2,
+    "cells": 2,
+    "padding": 5.0,
+    "workers": 2,
+    "min_saving": 0.25,
+    "energy_gate": 1e-12,
+}
+
+
+def _campaign(cfg: dict, *, seeding: bool) -> ScreenCampaign:
+    return ScreenCampaign(
+        dimer_family(bonds=tuple(cfg["bonds"])),
+        degree=cfg["degree"],
+        cells_per_axis=cfg["cells"],
+        padding=cfg["padding"],
+        seeding=seeding,
+        surrogate=seeding,  # armed as the out-of-distribution fallback
+    )
+
+
+def run_screen_bench(cfg: dict, workdir: str) -> dict:
+    root = pathlib.Path(workdir)
+    cold = _campaign(cfg, seeding=False).run_via_serve(
+        root / "cold",
+        workers=cfg["workers"],
+        cache=ResultCache(root / "cold-cache"),
+    )
+    seeded = _campaign(cfg, seeding=True).run_via_serve(
+        root / "seeded",
+        workers=cfg["workers"],
+        cache=ResultCache(root / "seeded-cache"),
+    )
+
+    e_cold, e_seeded = cold.energies(), seeded.energies()
+    if set(e_cold) != set(e_seeded):
+        raise AssertionError("cold and seeded passes solved different members")
+    if not all(o.converged for o in cold.outcomes + seeded.outcomes):
+        raise AssertionError("a screening member failed to converge")
+    energy_max_abs_diff = max(
+        abs(e_cold[name] - e_seeded[name]) for name in e_cold
+    )
+    saving = 1.0 - seeded.total_iterations / cold.total_iterations
+
+    # the two gates this benchmark exists to hold
+    if energy_max_abs_diff > cfg["energy_gate"]:
+        raise AssertionError(
+            f"seeded energies drifted {energy_max_abs_diff:.3e} Ha from the "
+            f"cold-start goldens (gate: {cfg['energy_gate']:.0e})"
+        )
+    if saving < cfg["min_saving"]:
+        raise AssertionError(
+            f"warm starts saved only {saving:.1%} of SCF iterations "
+            f"(gate: {cfg['min_saving']:.0%})"
+        )
+
+    serve_wall = seeded.serve_stats.get("serve_wall_seconds", 0.0)
+    return {
+        "members": len(cold.outcomes),
+        "iterations_cold": cold.total_iterations,
+        "iterations_seeded": seeded.total_iterations,
+        "iteration_saving": saving,
+        "energy_max_abs_diff": energy_max_abs_diff,
+        "seeded_fraction": seeded.seeded_fraction,
+        "counts_by_source": seeded.counts_by_source(),
+        "seed_stats": seeded.seed_stats,
+        "surrogate_stats": seeded.surrogate_stats,
+        "setup_cache": seeded.setup_cache,
+        "cold_wall_seconds": cold.wall_seconds,
+        "seeded_wall_seconds": seeded.wall_seconds,
+        "jobs_per_hour_cold": (
+            3600.0 * len(cold.outcomes) / cold.wall_seconds
+            if cold.wall_seconds > 0
+            else 0.0
+        ),
+        "jobs_per_hour_seeded": (
+            3600.0 * len(seeded.outcomes) / seeded.wall_seconds
+            if seeded.wall_seconds > 0
+            else 0.0
+        ),
+        "serve_wall_seconds": serve_wall,
+        "iterations": {
+            "cold": cold.iterations(),
+            "seeded": seeded.iterations(),
+        },
+    }
+
+
+def main(params: dict | None = None) -> dict:
+    cfg = {**REF, **(params or {})}
+    watch = Stopwatch()
+    with tempfile.TemporaryDirectory(prefix="bench-screen-") as workdir:
+        metrics = run_screen_bench(cfg, workdir)
+    record = write_result(
+        "screen",
+        params={**cfg, "bonds": list(cfg["bonds"])},
+        wall_seconds=watch.elapsed(),
+        metrics=metrics,
+    )
+    print(
+        f"screened {metrics['members']} members: "
+        f"{metrics['iterations_cold']} cold SCF iterations -> "
+        f"{metrics['iterations_seeded']} seeded "
+        f"({metrics['iteration_saving']:.1%} saved)"
+    )
+    print(
+        f"  max |E_seeded - E_cold| = {metrics['energy_max_abs_diff']:.3e} Ha "
+        f"(gate {cfg['energy_gate']:.0e})"
+    )
+    print(
+        f"  throughput {metrics['jobs_per_hour_cold']:.0f} -> "
+        f"{metrics['jobs_per_hour_seeded']:.0f} jobs/hour  "
+        f"sources {metrics['counts_by_source']}"
+    )
+    return record
+
+
+if __name__ == "__main__":
+    main()

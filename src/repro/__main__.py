@@ -78,9 +78,11 @@ def _cmd_info(_args) -> int:
 
 
 def _print_tuning_status() -> None:
-    """One `info` line on the host tuned profile (path, knobs, state)."""
+    """`info` lines on the host tuned profile (knobs, path, fingerprint)."""
     from repro.tune import (
         default_profile_path,
+        fingerprint_digest,
+        host_fingerprint,
         load_host_profile,
         tuning_enabled,
     )
@@ -89,10 +91,11 @@ def _print_tuning_status() -> None:
         print("  tuning:    disabled (REPRO_TUNE=0)")
         return
     profile = load_host_profile()
-    path = default_profile_path()
     if profile is None:
-        print(f"  tuning:    no host profile at {path} "
+        fp = host_fingerprint()
+        print(f"  tuning:    no host profile at {default_profile_path(fp)} "
               "(run `python -m repro tune`)")
+        print(f"             fingerprint: {fingerprint_digest(fp)} ({fp})")
         return
     knobs = ", ".join(f"{k}={v}" for k, v in sorted(profile.knobs.items()))
     print(f"  tuning:    {knobs}")
@@ -100,7 +103,11 @@ def _print_tuning_status() -> None:
     if model:
         print(f"             modeled: {model.get('workload')} -> "
               f"{model.get('nodes')} nodes @ B_f={model.get('block_size')}")
-    print(f"             profile: {path}")
+    # the path is addressed by the *profile's own* fingerprint, so the
+    # line names the file actually loaded, not a recomputed guess
+    print(f"             profile: {default_profile_path(profile.fingerprint)}")
+    print(f"             fingerprint: {fingerprint_digest(profile.fingerprint)} "
+          f"({profile.fingerprint})")
 
 
 def _ensure_tuned_profile() -> None:
@@ -138,14 +145,17 @@ def _run_library_scf(args):
     xc = {"lda": LDA, "pbe": PBE}[args.xc]()
     backend = getattr(args, "backend", "serial")
     nranks = max(1, int(getattr(args, "ranks", 2)))
+    initial_rho = getattr(args, "initial_rho", None)
     options = SCFOptions(
         max_iterations=args.max_scf, verbose=True,
         backend=backend, nranks=nranks,
+        initial_rho_path=initial_rho,
     )
     if getattr(args, "checkpoint", None):
         options = SCFOptions(
             max_iterations=args.max_scf, verbose=True,
             backend=backend, nranks=nranks,
+            initial_rho_path=initial_rho,
             checkpoint_path=args.checkpoint,
             checkpoint_every=args.checkpoint_every,
             checkpoint_metadata={
@@ -159,9 +169,17 @@ def _run_library_scf(args):
         options=options,
     )
     with calc:  # tears down proc-backend worker fleets on exit
-        return xc.name, calc.run(
-            resume_from=getattr(args, "resume_from", None)
-        )
+        try:
+            return xc.name, calc.run(
+                resume_from=getattr(args, "resume_from", None)
+            )
+        except ValueError as exc:
+            if initial_rho is None:
+                raise
+            # seed-density problems (wrong mesh, wrong file kind) are
+            # user errors, not tracebacks
+            print(f"cannot seed from --initial-rho {initial_rho!r}: {exc}")
+            return None, None
 
 
 def _print_profile(agg) -> None:
@@ -373,6 +391,68 @@ def _cmd_serve(args) -> int:
     return 0 if stats.failed == 0 else 1
 
 
+@_command("screen", "sweep a structure family with warm-start reuse")
+def _cmd_screen(args) -> int:
+    """Run a screening campaign over a declared structure family."""
+    import json
+
+    from repro.screen import (
+        ScreenCampaign,
+        chain_family,
+        dimer_family,
+        solute_chain_family,
+    )
+
+    def _floats(raw: str) -> tuple[float, ...]:
+        return tuple(float(x) for x in raw.split(",") if x.strip())
+
+    def _ints(raw: str) -> tuple[int, ...]:
+        return tuple(int(x) for x in raw.split(",") if x.strip())
+
+    if args.family == "dimer":
+        family = dimer_family(args.symbol, _floats(args.bonds))
+    elif args.family == "chain":
+        family = chain_family(
+            args.symbol, _ints(args.sizes), spacing=args.spacing
+        )
+    else:
+        family = solute_chain_family(
+            args.symbol, args.solute, args.chain_n, spacing=args.spacing
+        )
+    campaign = ScreenCampaign(
+        family,
+        xc=args.xc,
+        degree=args.degree,
+        cells_per_axis=args.cells,
+        padding=args.padding,
+        seeding=not args.cold,
+        surrogate=args.surrogate,
+        n_anchors=args.anchors,
+    )
+    if args.serve is not None:
+        report = campaign.run_via_serve(args.serve, workers=args.workers)
+    else:
+        report = campaign.run()
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+        return 0 if all(o.converged for o in report.outcomes) else 1
+    print(f"screened {len(report.outcomes)} members of {report.family} "
+          f"({report.mode}) in {report.wall_seconds:.2f} s")
+    for o in report.outcomes:
+        print(f"  {o.name:<18} E = {o.energy:+.10f} Ha  "
+              f"{o.iterations:3d} iters  seed={o.seed_source}"
+              f"{'' if o.converged else '  NOT CONVERGED'}")
+    print(f"  total SCF iterations: {report.total_iterations}  "
+          f"seeded: {report.seeded_fraction:.0%}  "
+          f"sources: {report.counts_by_source()}")
+    stats = report.seed_stats
+    if stats:
+        print(f"  seed store: {stats.get('deposits', 0):.0f} deposits, "
+              f"hit rate {stats.get('hit_rate', 0.0):.0%}  "
+              f"setup cache: {report.setup_cache}")
+    return 0 if all(o.converged for o in report.outcomes) else 1
+
+
 @_command("tune", "sweep kernel schedules, save the per-host tuned profile")
 def _cmd_tune(args) -> int:
     """Run the autotune sweep and persist the checksummed host profile."""
@@ -434,6 +514,11 @@ def main(argv: list[str] | None = None) -> int:
         p.add_argument(
             "--checkpoint", metavar="PATH", default=None,
             help="write a resumable mid-run checkpoint to PATH",
+        )
+        p.add_argument(
+            "--initial-rho", metavar="PATH", default=None,
+            help="warm-start the SCF from a converged density: a seed "
+                 "artifact or any scf checkpoint written on the same mesh",
         )
         p.add_argument(
             "--checkpoint-every", type=int, default=1, metavar="N",
@@ -526,6 +611,58 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument(
         "--no-tune", action="store_true",
         help="do not resolve the host tuned profile for service jobs",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    p = sub.add_parser(
+        "screen", help="sweep a structure family with warm-start reuse"
+    )
+    p.add_argument(
+        "--family", choices=("dimer", "chain", "solute-chain"),
+        default="dimer",
+    )
+    p.add_argument("--symbol", default="H", help="host element symbol")
+    p.add_argument(
+        "--bonds", default="1.2,1.3,1.4", metavar="A,B,...",
+        help="dimer bond lengths in Bohr (family=dimer)",
+    )
+    p.add_argument(
+        "--sizes", default="2,3,4", metavar="N,M,...",
+        help="chain lengths in atoms (family=chain)",
+    )
+    p.add_argument(
+        "--spacing", type=float, default=1.8,
+        help="chain spacing in Bohr (default: 1.8)",
+    )
+    p.add_argument("--solute", default="He", help="solute symbol")
+    p.add_argument(
+        "--chain-n", type=int, default=4,
+        help="host chain length for family=solute-chain (default: 4)",
+    )
+    p.add_argument("--xc", choices=("lda", "pbe"), default="lda")
+    p.add_argument("--degree", type=int, default=2)
+    p.add_argument("--cells", type=int, default=2)
+    p.add_argument("--padding", type=float, default=5.0)
+    p.add_argument(
+        "--cold", action="store_true",
+        help="disable warm-start reuse (the benchmark baseline)",
+    )
+    p.add_argument(
+        "--surrogate", action="store_true",
+        help="train the ML density surrogate on solved members",
+    )
+    p.add_argument(
+        "--anchors", type=int, default=1,
+        help="members solved cold at the head of the plan (default: 1)",
+    )
+    p.add_argument(
+        "--serve", default=None, metavar="WORKDIR",
+        help="batch members through the serve runtime in WORKDIR",
+    )
+    p.add_argument(
+        "--workers", type=int, default=2,
+        help="serve worker threads with --serve (default: 2)",
     )
     p.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"

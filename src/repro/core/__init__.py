@@ -7,6 +7,7 @@ from .dos import density_of_states, integrated_dos
 from .energy import EnergyBreakdown, total_energy
 from .forces import RelaxationResult, hellmann_feynman_forces, nonlocal_forces, relax
 from .hamiltonian import Electrostatics, gaussian_self_energy
+from .io import load_initial_rho, save_seed_density
 from .kerker import KerkerPreconditioner
 from .ksdft import DFTCalculation, auto_mesh, homo_lumo_gap
 from .mixing import AndersonMixer, LinearMixer
@@ -56,12 +57,14 @@ __all__ = [
     "integrated_dos",
     "homo_lumo_gap",
     "kpath",
+    "load_initial_rho",
     "nonlocal_forces",
     "lanczos_upper_bound",
     "orbitals_to_nodes",
     "projected_hamiltonian",
     "relax",
     "rayleigh_ritz",
+    "save_seed_density",
     "subspace_engine_enabled",
     "total_energy",
 ]

@@ -33,6 +33,8 @@ import numpy as np
 __all__ = [
     "save_checkpoint",
     "load_checkpoint",
+    "load_initial_rho",
+    "save_seed_density",
     "save_scf_state",
     "load_scf_state",
     "save_invdft_state",
@@ -114,6 +116,75 @@ def load_checkpoint(path: str, mesh=None) -> dict:
         for i in range(out["n_channels"])
     ]
     return out
+
+
+def save_seed_density(
+    path: str, mesh, rho_spin: np.ndarray, metadata: dict | None = None
+) -> None:
+    """Persist a bare spin density as a warm-start seed artifact.
+
+    Far lighter than a full checkpoint (no wavefunctions, no mixer
+    state): just ``rho_spin`` plus the mesh identity needed to validate
+    a later :func:`load_initial_rho`.  The screening driver's seed store
+    and the serve runners write these for cross-job density reuse.
+    """
+    rho_spin = np.asarray(rho_spin, dtype=float)
+    if rho_spin.shape[0] != mesh.nnodes:
+        raise ValueError(
+            f"rho_spin has {rho_spin.shape[0]} nodes, mesh has {mesh.nnodes}"
+        )
+    data = {
+        "format_version": _STATE_FORMAT_VERSION,
+        "kind": "rho",
+        "nnodes": mesh.nnodes,
+        "ndof": mesh.ndof,
+        "degree": mesh.degree,
+        "lengths": mesh.lengths,
+        "pbc": np.array(mesh.pbc),
+        "rho_spin": rho_spin,
+        "metadata_json": _pack_json(metadata or {}),
+    }
+    _atomic_savez(path, data)
+
+
+def load_initial_rho(path: str, mesh) -> np.ndarray:
+    """Extract a seed density from any checkpoint file for a fresh SCF.
+
+    Accepts v1 converged-state checkpoints, v2 mid-run SCF state files
+    and bare seed-density artifacts (:func:`save_seed_density`) — the
+    stored ``rho_spin`` of any of them can seed a new solve via
+    ``run(rho0=...)``.  Mesh compatibility is always validated (nnodes,
+    degree, domain lengths), so a seed from the wrong discretization
+    fails loudly instead of producing a silently wrong warm start.
+    """
+    with np.load(path, allow_pickle=False) as f:
+        version = int(f["format_version"])
+        kind = f["kind"].item() if "kind" in f.files else None
+        if kind == "rho":
+            data = {k: f[k] for k in ("nnodes", "degree", "lengths", "rho_spin")}
+    if version == _STATE_FORMAT_VERSION and kind == "rho":
+        if mesh is not None:
+            if (
+                int(data["nnodes"]) != mesh.nnodes
+                or int(data["degree"]) != mesh.degree
+            ):
+                raise ValueError(
+                    "seed density was written for a different mesh "
+                    f"(nnodes {int(data['nnodes'])} vs {mesh.nnodes})"
+                )
+            if not np.allclose(data["lengths"], mesh.lengths):
+                raise ValueError(
+                    "seed density domain lengths do not match the mesh"
+                )
+        return np.asarray(data["rho_spin"], dtype=float)
+    if version == _STATE_FORMAT_VERSION and kind == "scf":
+        return np.asarray(load_scf_state(path, mesh)["rho_spin"], dtype=float)
+    if version == _FORMAT_VERSION:
+        return np.asarray(load_checkpoint(path, mesh)["rho_spin"], dtype=float)
+    raise ValueError(
+        f"checkpoint at {path!r} holds no SCF density "
+        f"(format_version={version}, kind={kind!r})"
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -46,7 +46,7 @@ from .chebyshev import chebyshev_filter, lanczos_upper_bound
 from .density import atomic_guess_density, density_from_channels
 from .energy import EnergyBreakdown, total_energy
 from .hamiltonian import Electrostatics
-from .io import load_scf_state, save_scf_state
+from .io import load_initial_rho, load_scf_state, save_scf_state
 from .mixing import AndersonMixer, LinearMixer
 from .occupations import OccupationSet, find_fermi_level
 from .orthonorm import cholesky_orthonormalize
@@ -87,6 +87,13 @@ class SCFOptions:
     temperature: float = 1e-3  #: k_B T smearing (Ha)
     cheb_degree: int = 15
     n_init_passes: int = 5  #: filtering passes in the first SCF step
+    #: filtering passes in every later SCF step.  The default single
+    #: pass leaves the converged subspace with an O(1e-10) eigenvalue
+    #: memory of the starting density; screening campaigns that must
+    #: reproduce cold-start energies to 1e-12 from warm starts run 2-3
+    #: passes so the eigensolve is trajectory-independent at the fixed
+    #: point.  1 is bitwise-identical to the historical behavior.
+    filter_passes: int = 1
     #: CF / CholGS / RR block size (the paper's B_f).  None (the default)
     #: means "unset": :meth:`resolve` may fill it from the host's tuned
     #: profile, else it falls back to 64.  An explicit value always wins.
@@ -127,6 +134,10 @@ class SCFOptions:
     #: free-form dict stored in the checkpoint (the CLI uses it to rebuild
     #: the calculation for ``python -m repro resume``)
     checkpoint_metadata: dict | None = None
+    #: seed the first SCF iteration from the density stored in this
+    #: checkpoint file (v1 converged or v2 mid-run; mesh-validated at
+    #: load).  An explicit ``run(rho0=...)`` argument takes precedence.
+    initial_rho_path: str | None = None
     #: recovery budget for faulted channel eigensolves (see
     #: :mod:`repro.resilience`)
     retry_policy: RetryPolicy = RetryPolicy()
@@ -338,6 +349,8 @@ class SCFDriver:
         opts = self.options
         mesh = self.mesh
         n_e = self.config.n_electrons
+        if rho0 is None and opts.initial_rho_path is not None:
+            rho0 = load_initial_rho(opts.initial_rho_path, mesh)
         rho_spin = (
             rho0.copy()
             if rho0 is not None
@@ -800,7 +813,7 @@ class SCFDriver:
             X = ch.psi
             a0 = float(ch.evals[0])
             a = float(ch.evals[-1]) + 0.01 * (b - float(ch.evals[-1]))
-            passes = 1
+            passes = max(opts.filter_passes, 1)
 
         engine = subspace_engine_enabled()
         hx0 = None

@@ -45,7 +45,12 @@ from ..cluster import VirtualCluster
 from .arena import SharedArena
 from . import worker as W
 
-__all__ = ["ProcRankCluster", "overlap_from_env"]
+__all__ = [
+    "ProcRankCluster",
+    "overlap_from_env",
+    "pin_workers",
+    "pinning_from_env",
+]
 
 #: timing-slab phases exposed by :meth:`ProcRankCluster.phase_report`
 PHASE_NAMES = ("boundary_s", "interior_s", "halo_wait_s", "recv_s", "apply_total_s")
@@ -57,6 +62,51 @@ def overlap_from_env(default: bool = True) -> bool:
     if raw is None:
         return default
     return raw.strip().lower() not in ("0", "false", "off", "no")
+
+
+def pinning_from_env(default: bool = True) -> bool:
+    """Resolve the ``REPRO_PIN`` knob (constructor-time only)."""
+    raw = os.environ.get("REPRO_PIN")
+    if raw is None:
+        return default
+    return raw.strip().lower() not in ("0", "false", "off", "no")
+
+
+def pin_workers(pids: list[int]) -> dict[int, int]:
+    """Pin worker processes to cores, round-robin over the allowed set.
+
+    Rank workers are long-lived compute processes; letting the kernel
+    migrate them across cores costs cache warmth on every halo-exchange
+    wakeup.  Pinning is strictly best-effort and never load-bearing:
+
+    - skipped when the platform has no ``sched_setaffinity`` (macOS),
+    - skipped when the parent's allowed CPU set has fewer than two
+      cores (pinning P workers onto one core just serializes them
+      harder than the scheduler would),
+    - disabled by ``REPRO_PIN=0``,
+    - an ``OSError`` from the kernel (e.g. a worker already exited)
+      leaves that worker unpinned.
+
+    Returns the ``{pid: core}`` placements that actually applied.
+    """
+    placements: dict[int, int] = {}
+    if not hasattr(os, "sched_setaffinity"):  # pragma: no cover - macOS
+        return placements
+    try:
+        allowed = sorted(os.sched_getaffinity(0))
+    except OSError:  # pragma: no cover - exotic kernels
+        return placements
+    if len(allowed) < 2:
+        return placements
+    for i, pid in enumerate(pids):
+        core = allowed[i % len(allowed)]
+        try:
+            os.sched_setaffinity(pid, {core})
+        except OSError:  # pragma: no cover - worker raced away
+            add_counter("procranks.pin_failed", 1.0)
+        else:
+            placements[pid] = core
+    return placements
 
 
 class _Links:
@@ -138,6 +188,13 @@ class ProcRankCluster(VirtualCluster):
         ]
         for p in self._workers:
             p.start()
+        #: {pid: core} placements that actually applied (empty when
+        #: pinning was skipped or ``REPRO_PIN=0`` disabled it)
+        self.pinned: dict[int, int] = (
+            pin_workers([p.pid for p in self._workers])
+            if pinning_from_env()
+            else {}
+        )
         # backstop: even an abandoned cluster reaps its workers and
         # segments (the arena holds its own unlink finalizer as well)
         import weakref

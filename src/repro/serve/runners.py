@@ -60,6 +60,13 @@ class SliceContext:
     #: pick up the host's tuned profile for driver options (policy-level
     #: like ``backend`` — never part of the job's content address)
     tuned: bool = True
+    #: warm-start hint: checkpoint path whose density seeds the first
+    #: SCF iteration (scheduling metadata carried on the job, not the
+    #: spec — cache keys stay seed-independent)
+    seed_rho: str | None = None
+    #: where runners persist converged-density artifacts for warm-start
+    #: harvesting (from the scheduler policy; None = don't persist)
+    artifact_dir: str | None = None
 
 
 @dataclass(frozen=True)

@@ -54,6 +54,10 @@ class SchedulerPolicy:
     #: job's content address (cache key) must not depend on it.
     #: ``REPRO_TUNE=0`` still disables pickup globally.
     tuned: bool = True
+    #: directory where runners persist converged-density artifacts for
+    #: warm-start harvesting (None = no artifacts).  Policy-level like
+    #: ``backend``: artifact placement never enters a job's identity.
+    artifact_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.total_ranks < 1:
@@ -169,6 +173,8 @@ class Scheduler:
             backend=self.policy.backend,
             ranks=max(1, int(getattr(job.spec, "ranks", 1))),
             tuned=self.policy.tuned,
+            seed_rho=job.seed_rho,
+            artifact_dir=self.policy.artifact_dir,
         )
 
     def release(self, job: Job) -> None:

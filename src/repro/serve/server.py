@@ -60,6 +60,9 @@ class ServeRequest:
     spec: JobSpec
     priority: int = 0
     deadline: float | None = None
+    #: warm-start hint: checkpoint path whose density seeds the first
+    #: SCF iteration (see ``Job.seed_rho``; not part of the cache key)
+    seed_rho: str | None = None
 
 
 @dataclass
@@ -171,6 +174,7 @@ class SimulationServer:
         *,
         priority: int = 0,
         deadline: float | None = None,
+        seed_rho: str | None = None,
     ) -> Job:
         """Validate, cache-check, coalesce or enqueue one request.
 
@@ -187,6 +191,7 @@ class SimulationServer:
             priority=priority,
             deadline=deadline,
             submitted_at=self._now(),
+            seed_rho=seed_rho,
         )
         self._jobs[job.job_id] = job
         self._events[job.job_id] = asyncio.Event()
@@ -226,7 +231,8 @@ class SimulationServer:
     ) -> list[Job]:
         return [
             await self.submit(
-                r.spec, priority=r.priority, deadline=r.deadline
+                r.spec, priority=r.priority, deadline=r.deadline,
+                seed_rho=r.seed_rho,
             )
             for r in requests
         ]
